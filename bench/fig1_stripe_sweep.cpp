@@ -1,0 +1,77 @@
+// Reproduces Figure 1: IOR write bandwidth over 1,024 processes (64 nodes)
+// on the simulated lscratchc, sweeping the Lustre stripe count
+// {8,16,32,64,128,160} x stripe size {32,64,128,256} MiB through the tuned
+// ad_lustre driver, against the stock configuration (2 x 1 MiB through
+// ad_ufs, which ignores hints). The paper's headline: default 313 MB/s,
+// best 15,609 MB/s at 160 x 128 MiB — a 49x improvement.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+namespace {
+
+using namespace pfsc;
+
+double sweep_point(mpiio::Driver driver, std::uint32_t stripes, Bytes size,
+                   unsigned reps, std::uint64_t base_seed) {
+  const auto stats = harness::repeat(reps, base_seed, [&](std::uint64_t seed) {
+    harness::IorRunSpec spec;  // Table II config is the ior::Config default
+    spec.ior.hints.driver = driver;
+    spec.ior.hints.striping_factor = stripes;
+    spec.ior.hints.striping_unit = size;
+    const auto res = harness::run_single_ior(spec, seed);
+    PFSC_ASSERT(res.err == lustre::Errno::ok && res.verified);
+    return res.write_mbps;
+  });
+  return stats.ci.mean;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 1",
+                "IOR write bandwidth vs stripe count x stripe size, 1,024 procs");
+  const unsigned reps = bench::repetitions(3);
+  std::printf("repetitions per point: %u\n\n", reps);
+
+  const double default_bw =
+      sweep_point(mpiio::Driver::ad_ufs, 0, 0, reps, 0xD0);
+  std::printf("Default configuration (ad_ufs, 2 x 1 MiB): %.0f MB/s "
+              "(paper: 313 MB/s)\n\n", default_bw);
+
+  const std::vector<std::uint32_t> counts{8, 16, 32, 64, 128, 160};
+  const std::vector<Bytes> sizes{32_MiB, 64_MiB, 128_MiB, 256_MiB};
+
+  FigureSeries fig("OSTs", {"32M", "64M", "128M", "256M"});
+  TextTable table({"stripes", "32 MiB", "64 MiB", "128 MiB", "256 MiB"});
+  double best = 0.0;
+  std::uint32_t best_count = 0;
+  Bytes best_size = 0;
+  for (auto count : counts) {
+    std::vector<std::string> row{fmt_int(count)};
+    std::vector<double> points;
+    for (auto size : sizes) {
+      const double bw = sweep_point(mpiio::Driver::ad_lustre, count, size, reps,
+                                    0xF16'0000 + count);
+      row.push_back(fmt_double(bw, 0));
+      points.push_back(bw);
+      if (bw > best) {
+        best = bw;
+        best_count = count;
+        best_size = size;
+      }
+    }
+    table.add_row(std::move(row));
+    fig.add_point(count, std::move(points));
+  }
+  table.print("Write bandwidth (MB/s) by stripe count x stripe size");
+  fig.print("Figure 1 series");
+
+  std::printf("Best: %.0f MB/s at %u stripes x %s (paper: 15,609 MB/s at 160 x 128 MiB)\n",
+              best, best_count, format_bytes(best_size).c_str());
+  std::printf("Improvement over default: %s (paper: x49)\n",
+              bench::fmt_ratio(best, default_bw).c_str());
+  return 0;
+}

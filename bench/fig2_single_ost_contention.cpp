@@ -1,0 +1,65 @@
+// Reproduces Figure 2: per-process bandwidth when 1..16 writers contend a
+// single OST (each writing its own 1-stripe file pinned to the same target
+// via the stripe_offset hint), against the ideal-scaling band derived from
+// the single-writer 95% confidence interval scaled by 1/n.
+//
+// The paper's observation: up to ~3 writers stay near the band; beyond
+// that, contention pushes per-process bandwidth well below ideal.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+int main() {
+  using namespace pfsc;
+  bench::banner("Figure 2", "Per-process bandwidth on one contended OST");
+  const unsigned reps = bench::repetitions(5);
+  std::printf("repetitions per point: %u\n\n", reps);
+
+  auto probe_mean = [&](std::uint32_t writers) {
+    std::vector<double> samples;
+    Rng seeder(0xF2'0000 + writers);
+    for (unsigned i = 0; i < reps; ++i) {
+      harness::ProbeSpec spec;
+      spec.writers = writers;
+      spec.bytes_per_writer = 64_MiB;
+      // lscratchc is a shared-user system: light random background load
+      // gives the single-writer runs the natural variance the paper's
+      // ideal band is built from.
+      spec.noise.writers = 12;
+      spec.noise.bytes_per_writer = 256_MiB;
+      spec.noise.stripes = 8;
+      samples.push_back(
+          harness::run_probe_experiment(spec, seeder.next_u64()).mean_mbps);
+    }
+    return confidence_interval(samples);
+  };
+
+  const auto solo = probe_mean(1);
+  std::printf("Single writer: %s MB/s — the ideal band below is this CI / n\n\n",
+              bench::fmt_ci(solo, 1).c_str());
+
+  TextTable table({"writers", "ideal lower", "ideal upper", "measured",
+                   "vs ideal mid"});
+  FigureSeries fig("writers", {"measured", "ideal-lo", "ideal-hi"});
+  for (std::uint32_t n = 1; n <= 16; ++n) {
+    const auto ci = probe_mean(n);
+    const double lo = solo.lower / n;
+    const double hi = solo.upper / n;
+    table.cell(fmt_int(n))
+        .cell(fmt_double(lo, 1))
+        .cell(fmt_double(hi, 1))
+        .cell(fmt_double(ci.mean, 1))
+        .cell(fmt_double(ci.mean / ((lo + hi) / 2.0) * 100.0, 0) + "%");
+    table.end_row();
+    fig.add_point(n, {ci.mean, lo, hi});
+  }
+  table.print("Per-process bandwidth (MB/s) vs contended writers on one OST");
+  fig.print("Figure 2 series");
+
+  std::printf("Expected shape: within/near the band for <= 3 writers, then\n"
+              "diverging below it (the paper's \"three simultaneous tasks or\n"
+              "more ... noticeable performance overhead\").\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Table V and Figure 4: four simultaneous IOR tasks with the
+// per-job stripe request R swept over {32, 64, 96, 128, 160} (stripe size
+// 128 MiB), five repetitions each. Reports average/total bandwidth, the
+// expected number of OSTs contended by exactly 1..4 of the tasks, and
+// predicted (Eq. 2/4) vs measured D_inuse / D_load.
+//
+// The paper's point: dropping from 160 to 64 stripes costs ~14% bandwidth
+// while freeing ~37% of the OSTs; even 32 stripes loses little.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/metrics.hpp"
+#include "harness/experiments.hpp"
+
+int main() {
+  using namespace pfsc;
+  bench::banner("Table V / Figure 4",
+                "Four contending tasks vs per-job stripe request R");
+  const unsigned reps = bench::repetitions(5);
+  std::printf("repetitions per point: %u\n\n", reps);
+
+  // Paper's Table V rows for side-by-side comparison.
+  struct PaperRow {
+    unsigned r;
+    double avg_bw, usage1, usage2, usage3, usage4, pred_inuse, pred_load,
+        act_inuse, act_load;
+  };
+  const PaperRow paper[] = {
+      {32, 3654.06, 103.2, 11.2, 0.8, 0.0, 115.76, 1.11, 115.20, 1.11},
+      {64, 3910.51, 172.6, 35.8, 3.4, 0.4, 209.20, 1.22, 212.20, 1.21},
+      {96, 4042.98, 199.4, 76.4, 9.8, 0.6, 283.39, 1.36, 286.20, 1.34},
+      {128, 4172.17, 211.6, 111.4, 22.4, 2.6, 341.18, 1.50, 348.00, 1.47},
+      {160, 4541.37, 191.8, 147.0, 41.8, 7.2, 385.19, 1.66, 387.80, 1.65},
+  };
+
+  TextTable table({"R", "avg BW", "avg BW(paper)", "total BW", "use1", "use2",
+                   "use3", "use4", "Dinuse pred", "Dinuse meas",
+                   "Dload pred", "Dload meas"});
+  FigureSeries fig("R", {"task-mean MB/s"});
+  double bw_at_160 = 0.0;
+  double bw_at_64 = 0.0;
+  double bw_at_32 = 0.0;
+  for (const auto& p : paper) {
+    RunningStats bw;
+    RunningStats inuse;
+    RunningStats load;
+    std::vector<RunningStats> usage(5);
+    Rng seeder(0x7AB5'0000 + p.r);
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      harness::MultiJobSpec spec;
+      spec.jobs = 4;
+      spec.procs_per_job = 1024;
+      spec.ior.hints.driver = mpiio::Driver::ad_lustre;
+      spec.ior.hints.striping_factor = p.r;
+      spec.ior.hints.striping_unit = 128_MiB;
+      const auto res = harness::run_multi_ior(spec, seeder.next_u64());
+      bw.add(res.mean_mbps);
+      inuse.add(res.contention.d_inuse);
+      load.add(res.contention.d_load);
+      for (unsigned k = 1; k <= 4; ++k) {
+        const double v = k < res.contention.histogram.size()
+                             ? res.contention.histogram[k]
+                             : 0.0;
+        usage[k].add(v);
+      }
+    }
+    const double pred_inuse = core::d_inuse_uniform(p.r, 4, 480);
+    const double pred_load = core::d_load(p.r, 4, 480);
+    table.cell(fmt_int(p.r))
+        .cell(fmt_double(bw.mean(), 0))
+        .cell(fmt_double(p.avg_bw, 0))
+        .cell(fmt_double(bw.mean() * 4, 0))
+        .cell(fmt_double(usage[1].mean(), 1))
+        .cell(fmt_double(usage[2].mean(), 1))
+        .cell(fmt_double(usage[3].mean(), 1))
+        .cell(fmt_double(usage[4].mean(), 1))
+        .cell(fmt_double(pred_inuse, 2))
+        .cell(fmt_double(inuse.mean(), 2))
+        .cell(fmt_double(pred_load, 2))
+        .cell(fmt_double(load.mean(), 2));
+    table.end_row();
+    fig.add_point(p.r, {bw.mean()});
+    if (p.r == 160) bw_at_160 = bw.mean();
+    if (p.r == 64) bw_at_64 = bw.mean();
+    if (p.r == 32) bw_at_32 = bw.mean();
+    std::printf("R=%u done\n", p.r);
+  }
+  std::printf("\n");
+  table.print("Table V: four tasks, varying per-job stripe request");
+  fig.print("Figure 4 series");
+
+  std::printf("R 160 -> 64: bandwidth %.1f%% lower (paper: ~14%%), OSTs in use "
+              "%.1f%% fewer (paper: ~37%%)\n",
+              (1.0 - bw_at_64 / bw_at_160) * 100.0,
+              (1.0 - pfsc::core::d_inuse_uniform(64, 4, 480) /
+                         pfsc::core::d_inuse_uniform(160, 4, 480)) * 100.0);
+  std::printf("R 160 -> 32: bandwidth %.1f%% lower (paper: ~20%%), load %.2f "
+              "(paper: ~1.11)\n",
+              (1.0 - bw_at_32 / bw_at_160) * 100.0,
+              pfsc::core::d_load(32, 4, 480));
+  return 0;
+}

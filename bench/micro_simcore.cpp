@@ -1,0 +1,138 @@
+// Google-benchmark microbenchmarks for the simulator's hot paths: event
+// dispatch, coroutine spawn/join, disk service, the contention metrics and
+// the two-phase planner. These guard the simulator's own performance (a
+// 4,096-rank PLFS experiment executes tens of millions of events).
+#include <benchmark/benchmark.h>
+
+#include "core/metrics.hpp"
+#include "hw/disk.hpp"
+#include "lustre/extent_map.hpp"
+#include "mpiio/two_phase.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+#include "sim/task.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pfsc;
+
+sim::Task delay_loop(sim::Engine& eng, int hops) {
+  for (int i = 0; i < hops; ++i) co_await eng.delay(1.0);
+}
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(delay_loop(eng, hops));
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(1000)->Arg(100000);
+
+sim::Task spawn_fanout(sim::Engine& eng, int width) {
+  std::vector<sim::Task> children;
+  children.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    sim::Task t = delay_loop(eng, 1);
+    eng.spawn(t);
+    children.push_back(std::move(t));
+  }
+  co_await sim::join_all(std::move(children));
+}
+
+void BM_TaskSpawnJoin(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(spawn_fanout(eng, width));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_TaskSpawnJoin)->Arg(100)->Arg(4096);
+
+sim::Task disk_client(hw::DiskModel& disk, int stream, int requests) {
+  for (int i = 0; i < requests; ++i) {
+    co_await disk.submit(static_cast<hw::DiskModel::StreamId>(stream),
+                         static_cast<Bytes>(i) * 1_MiB, 1_MiB, true);
+  }
+}
+
+void BM_DiskServiceInterleaved(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  constexpr int kRequests = 256;
+  for (auto _ : state) {
+    sim::Engine eng;
+    hw::DiskModel disk(eng, hw::DiskParams{});
+    for (int s = 0; s < streams; ++s) {
+      eng.spawn(disk_client(disk, s, kRequests / streams));
+    }
+    eng.run();
+    benchmark::DoNotOptimize(disk.bytes_serviced());
+  }
+  state.SetItemsProcessed(state.iterations() * kRequests);
+}
+BENCHMARK(BM_DiskServiceInterleaved)->Arg(1)->Arg(16);
+
+void BM_MetricsContentionTable(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = core::contention_table(160.0, 64, 480.0);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_MetricsContentionTable);
+
+void BM_MetricsOccupancy(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto e = core::occupancy_expectation(480, n, 2);
+    benchmark::DoNotOptimize(e.data());
+  }
+}
+BENCHMARK(BM_MetricsOccupancy)->Arg(512)->Arg(4096);
+
+void BM_ExtentMapInsert(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    lustre::ExtentMap map;
+    for (int i = 0; i < 1000; ++i) {
+      map.insert(rng.uniform(1u << 20), 1 + rng.uniform(4096));
+    }
+    benchmark::DoNotOptimize(map.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ExtentMapInsert);
+
+void BM_TwoPhasePlanCyclic(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  std::vector<mpiio::IoRequest> reqs;
+  for (int r = 0; r < ranks; ++r) {
+    reqs.push_back({r, static_cast<Bytes>(r) * 4_MiB, 1_MiB});
+  }
+  std::vector<int> aggs;
+  for (int a = 0; a < ranks; a += 16) aggs.push_back(a);
+  for (auto _ : state) {
+    auto plans = mpiio::plan_two_phase_cyclic(reqs, aggs, 16_MiB, 128_MiB);
+    benchmark::DoNotOptimize(plans.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ranks);
+}
+BENCHMARK(BM_TwoPhasePlanCyclic)->Arg(1024)->Arg(4096);
+
+void BM_RngSampleWithoutReplacement(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    auto sample = rng.sample_without_replacement(480, 160);
+    benchmark::DoNotOptimize(sample.data());
+  }
+}
+BENCHMARK(BM_RngSampleWithoutReplacement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Auto-tuning example: the exhaustive parameter search of Section IV as a
+// reusable tool. Sweeps stripe count x stripe size for a user-described
+// workload on a chosen platform, reports the optimum, and then shows what
+// the contention metrics say that optimum does to a *shared* system —
+// the paper's warning about "auto tuning without consideration for the QoS
+// of a shared file system".
+//
+// Usage: autotune_sweep [nprocs] (default 256)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "harness/experiments.hpp"
+#include "support/table.hpp"
+
+using namespace pfsc;
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 256;
+  PFSC_REQUIRE(nprocs >= 1, "autotune_sweep: bad process count");
+
+  std::printf("Auto-tuning IOR (Table II workload) for %d processes on "
+              "simulated lscratchc\n\n", nprocs);
+
+  const std::vector<std::uint32_t> counts{2, 8, 32, 64, 128, 160};
+  const std::vector<Bytes> sizes{1_MiB, 32_MiB, 128_MiB};
+
+  TextTable table({"stripes", "1 MiB", "32 MiB", "128 MiB"});
+  double best = 0.0;
+  std::uint32_t best_count = 0;
+  Bytes best_size = 0;
+  for (auto count : counts) {
+    std::vector<std::string> row{fmt_int(count)};
+    for (auto size : sizes) {
+      harness::IorRunSpec spec;
+      spec.nprocs = nprocs;
+      spec.ior.hints.driver = mpiio::Driver::ad_lustre;
+      spec.ior.hints.striping_factor = count;
+      spec.ior.hints.striping_unit = size;
+      const auto res = harness::run_single_ior(spec, 0xA0 + count);
+      PFSC_ASSERT(res.err == lustre::Errno::ok);
+      row.push_back(fmt_double(res.write_mbps, 0));
+      if (res.write_mbps > best) {
+        best = res.write_mbps;
+        best_count = count;
+        best_size = size;
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print("Write bandwidth (MB/s)");
+
+  std::printf("Optimum: %u stripes x %s -> %.0f MB/s\n\n", best_count,
+              format_bytes(best_size).c_str(), best);
+
+  std::printf("...but on a shared system, if everyone adopts this optimum:\n");
+  TextTable qos({"concurrent jobs", "OSTs in use", "mean OST load"});
+  for (unsigned n = 1; n <= 8; ++n) {
+    qos.cell(fmt_int(n))
+        .cell(fmt_double(core::d_inuse_uniform(best_count, n, 480), 1))
+        .cell(fmt_double(core::d_load(best_count, n, 480), 2));
+    qos.end_row();
+  }
+  qos.print("");
+
+  for (double budget : {1.1, 1.5, 2.0}) {
+    const auto advice = core::advise_stripe_count(480.0, 4, budget, 160);
+    std::printf("With 4 jobs and a load budget of %.1f, request <= %u stripes "
+                "(load %.2f).\n", budget, advice.recommended_stripes,
+                advice.predicted_load);
+  }
+  return 0;
+}

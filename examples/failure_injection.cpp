@@ -1,0 +1,81 @@
+// Failure-injection walkthrough: what clients observe when OSTs die and
+// come back, and how the allocator degrades.
+//
+// Exercises the error paths a downstream user of the library needs to
+// handle: EIO on writes to failed targets (surfacing at the asynchronous
+// flush point, like real page-cache writeback), ENOSPC when the allocator
+// cannot satisfy a layout, and recovery after repair.
+#include <cstdio>
+
+#include "hw/platform.hpp"
+#include "lustre/client.hpp"
+#include "lustre/lfs.hpp"
+
+using namespace pfsc;
+using lustre::Errno;
+
+namespace {
+
+sim::Task scenario(lustre::FileSystem& fs) {
+  lustre::Client client(fs, "app");
+
+  // A healthy write.
+  auto file = co_await client.create("/data", lustre::StripeSettings{4, 1_MiB, 0});
+  PFSC_ASSERT(file.ok());
+  Errno e = co_await client.write(file.value, 0, 16_MiB);
+  std::printf("write to healthy file:            %s\n", errno_name(e));
+
+  // Fail one of the file's OSTs mid-life: the next write returns EIO.
+  fs.fail_ost(fs.inode(file.value).layout.osts[1]);
+  e = co_await client.write(file.value, 16_MiB, 16_MiB);
+  std::printf("write with a failed OST:          %s\n", errno_name(e));
+
+  // Reads of data on surviving OSTs still work... (offset 0 lives on OST 0)
+  e = co_await client.read(file.value, 0, 512_KiB);
+  std::printf("read from surviving stripe:       %s\n", errno_name(e));
+
+  // New files avoid the failed target.
+  auto fresh = co_await client.create("/fresh", lustre::StripeSettings{4, 1_MiB, -1});
+  PFSC_ASSERT(fresh.ok());
+  bool avoided = true;
+  for (auto ost : fs.inode(fresh.value).layout.osts) {
+    if (fs.ost_failed(ost)) avoided = false;
+  }
+  std::printf("new file avoids failed OST:       %s\n", avoided ? "yes" : "NO");
+
+  // Mass failure: allocation fails with ENOSPC once too few OSTs are left.
+  for (lustre::OstIndex ost = 0; ost < fs.params().ost_count - 2; ++ost) {
+    fs.fail_ost(ost);
+  }
+  auto starved = co_await client.create("/starved", lustre::StripeSettings{4, 1_MiB, -1});
+  std::printf("create with 2 healthy OSTs left:  %s\n", errno_name(starved.err));
+
+  // Repair and retry.
+  for (lustre::OstIndex ost = 0; ost < fs.params().ost_count; ++ost) {
+    fs.restore_ost(ost);
+  }
+  auto repaired = co_await client.create("/starved", lustre::StripeSettings{4, 1_MiB, -1});
+  std::printf("create after repair:              %s\n", errno_name(repaired.err));
+
+  // lfs df shows the operator's view.
+  std::printf("\nlfs df (first 8 OSTs):\n");
+  const auto df = lustre::lfs_df(fs);
+  for (std::size_t i = 0; i < 8 && i < df.size(); ++i) {
+    std::printf("  OST %3u: %llu objects%s\n", df[i].ost,
+                static_cast<unsigned long long>(df[i].objects),
+                df[i].failed ? "  [FAILED]" : "");
+  }
+  co_return;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Failure injection on the simulated file system\n");
+  std::printf("==============================================\n\n");
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 7);
+  eng.spawn(scenario(fs));
+  eng.run();
+  return 0;
+}

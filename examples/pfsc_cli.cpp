@@ -1,0 +1,225 @@
+// pfsc_cli — a command-line driver for the simulator, so experiments can be
+// scripted without writing C++. Hints travel in MPI_Info textual form.
+//
+//   pfsc_cli ior    --nprocs 1024 --hints "driver=ad_lustre;striping_factor=160;striping_unit=134217728" --reps 3
+//   pfsc_cli multi  --jobs 4 --nprocs 1024 --stripes 64
+//   pfsc_cli probe  --writers 8
+//   pfsc_cli plfs   --nprocs 512
+//   pfsc_cli metrics --dtotal 480 --stripes 160 --jobs 10
+//   pfsc_cli advise --dtotal 480 --jobs 4 --budget 1.25
+//   pfsc_cli health --jobs 4 --stripes 64    (run jobs, then report)
+//
+// Every mode prints a compact table; --seed and --reps control repetition.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/fs_report.hpp"
+#include "core/metrics.hpp"
+#include "harness/experiments.hpp"
+#include "mpiio/info.hpp"
+#include "support/table.hpp"
+
+using namespace pfsc;
+
+namespace {
+
+struct Args {
+  std::string mode;
+  int nprocs = 256;
+  int jobs = 4;
+  unsigned writers = 4;
+  unsigned reps = 1;
+  unsigned stripes = 160;
+  unsigned dtotal = 480;
+  double budget = 1.25;
+  std::uint64_t seed = 1;
+  std::string hints;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    if (argc < 2) usage_and_exit();
+    args.mode = argv[1];
+    for (int i = 2; i + 1 < argc; i += 2) {
+      const std::string key = argv[i];
+      const char* value = argv[i + 1];
+      if (key == "--nprocs") args.nprocs = std::atoi(value);
+      else if (key == "--jobs") args.jobs = std::atoi(value);
+      else if (key == "--writers") args.writers = static_cast<unsigned>(std::atoi(value));
+      else if (key == "--reps") args.reps = static_cast<unsigned>(std::atoi(value));
+      else if (key == "--stripes") args.stripes = static_cast<unsigned>(std::atoi(value));
+      else if (key == "--dtotal") args.dtotal = static_cast<unsigned>(std::atoi(value));
+      else if (key == "--budget") args.budget = std::atof(value);
+      else if (key == "--seed") args.seed = std::strtoull(value, nullptr, 10);
+      else if (key == "--hints") args.hints = value;
+      else usage_and_exit();
+    }
+    return args;
+  }
+
+  [[noreturn]] static void usage_and_exit() {
+    std::fprintf(stderr,
+                 "usage: pfsc_cli <ior|multi|probe|plfs|metrics|advise|health> [options]\n"
+                 "  --nprocs N --jobs N --writers N --reps N --stripes N\n"
+                 "  --dtotal N --budget X --seed N --hints \"k=v;k=v\"\n");
+    std::exit(2);
+  }
+};
+
+mpiio::Hints hints_from(const Args& args, mpiio::Driver default_driver) {
+  mpiio::Hints base;
+  base.driver = default_driver;
+  if (default_driver == mpiio::Driver::ad_lustre) {
+    base.striping_factor = args.stripes;
+    base.striping_unit = 128_MiB;
+  }
+  if (args.hints.empty()) return base;
+  const auto parsed = mpiio::parse_hints(args.hints, base);
+  for (const auto& key : parsed.unknown_keys) {
+    std::fprintf(stderr, "warning: ignoring unknown hint '%s'\n", key.c_str());
+  }
+  return parsed.hints;
+}
+
+int run_ior_mode(const Args& args, bool plfs) {
+  TextTable table({"rep", "write MB/s", "verified", "time s"});
+  RunningStats bw;
+  Rng seeder(args.seed);
+  for (unsigned rep = 0; rep < args.reps; ++rep) {
+    harness::IorRunSpec spec;
+    spec.nprocs = args.nprocs;
+    spec.ior.hints = hints_from(
+        args, plfs ? mpiio::Driver::ad_plfs : mpiio::Driver::ad_lustre);
+    const auto res = plfs ? harness::run_plfs_ior(spec, seeder.next_u64()).ior
+                          : harness::run_single_ior(spec, seeder.next_u64());
+    if (res.err != lustre::Errno::ok) {
+      std::fprintf(stderr, "run failed: %s\n", lustre::errno_name(res.err));
+      return 1;
+    }
+    bw.add(res.write_mbps);
+    table.cell(fmt_int(rep + 1))
+        .cell(fmt_double(res.write_mbps, 0))
+        .cell(res.verified ? "yes" : "NO")
+        .cell(fmt_double(res.write_time, 1));
+    table.end_row();
+  }
+  table.print(plfs ? "IOR through ad_plfs" : "IOR");
+  std::printf("mean %.0f MB/s over %u rep(s)\n", bw.mean(), args.reps);
+  return 0;
+}
+
+int run_multi_mode(const Args& args) {
+  harness::MultiJobSpec spec;
+  spec.jobs = args.jobs;
+  spec.procs_per_job = args.nprocs;
+  spec.ior.hints = hints_from(args, mpiio::Driver::ad_lustre);
+  const auto res = harness::run_multi_ior(spec, args.seed);
+  TextTable table({"job", "write MB/s"});
+  for (std::size_t j = 0; j < res.per_job.size(); ++j) {
+    table.cell(fmt_int(static_cast<long long>(j + 1)))
+        .cell(fmt_double(res.per_job[j].write_mbps, 0));
+    table.end_row();
+  }
+  table.print("Contending jobs");
+  std::printf("total %.0f MB/s; Dinuse %.0f (Eq.2: %.1f); Dload %.2f (Eq.4: %.2f)\n",
+              res.total_mbps, res.contention.d_inuse,
+              core::d_inuse_uniform(args.stripes, static_cast<unsigned>(args.jobs),
+                                    args.dtotal),
+              res.contention.d_load,
+              core::d_load(args.stripes, static_cast<unsigned>(args.jobs),
+                           args.dtotal));
+  return 0;
+}
+
+int run_probe_mode(const Args& args) {
+  harness::ProbeSpec spec;
+  spec.writers = args.writers;
+  const auto res = harness::run_probe_experiment(spec, args.seed);
+  TextTable table({"writer", "MB/s"});
+  for (std::size_t w = 0; w < res.per_process_mbps.size(); ++w) {
+    table.cell(fmt_int(static_cast<long long>(w)))
+        .cell(fmt_double(res.per_process_mbps[w], 1));
+    table.end_row();
+  }
+  table.print("Single-OST contention probe");
+  std::printf("mean per-process %.1f MB/s\n", res.mean_mbps);
+  return 0;
+}
+
+int run_metrics_mode(const Args& args) {
+  TextTable table({"jobs", "Dinuse", "Dreq", "Dload", "busiest OST",
+                   "job slowdown"});
+  for (const auto& pt :
+       core::contention_table(args.stripes, static_cast<unsigned>(args.jobs),
+                              args.dtotal)) {
+    table.cell(fmt_int(pt.jobs))
+        .cell(fmt_double(pt.d_inuse, 2))
+        .cell(fmt_int(static_cast<long long>(pt.d_req)))
+        .cell(fmt_double(pt.d_load, 2))
+        .cell(fmt_double(core::expected_max_occupancy(args.dtotal, pt.jobs,
+                                                      args.stripes, args.dtotal), 2))
+        .cell(fmt_double(core::predicted_job_slowdown(args.dtotal, pt.jobs,
+                                                      args.stripes), 2));
+    table.end_row();
+  }
+  char caption[128];
+  std::snprintf(caption, sizeof caption,
+                "Contention metrics: D_total=%u, R=%u", args.dtotal, args.stripes);
+  table.print(caption);
+  return 0;
+}
+
+int run_health_mode(const Args& args) {
+  // Run a contended workload, then print the operator's health report.
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::cab_lscratchc(), args.seed);
+  eng.spawn([](lustre::FileSystem& fs, const Args& args) -> sim::Task {
+    for (int j = 0; j < args.jobs; ++j) {
+      auto r = co_await fs.create("/job" + std::to_string(j),
+                                  lustre::StripeSettings{args.stripes, 128_MiB, -1});
+      PFSC_ASSERT(r.ok());
+    }
+  }(fs, args));
+  eng.run();
+  std::fputs(core::format_health_report(core::collect_health_report(fs)).c_str(),
+             stdout);
+  return 0;
+}
+
+int run_advise_mode(const Args& args) {
+  const auto advice = core::advise_stripe_count(
+      args.dtotal, static_cast<unsigned>(args.jobs), args.budget, 160);
+  if (advice.recommended_stripes == 0) {
+    std::printf("No stripe count satisfies load budget %.2f with %d jobs on "
+                "%u OSTs.\n", args.budget, args.jobs, args.dtotal);
+    return 1;
+  }
+  std::printf("Request %u stripes per job: predicted load %.2f, %.0f OSTs in "
+              "use, expected job slowdown %.2fx.\n",
+              advice.recommended_stripes, advice.predicted_load,
+              advice.predicted_inuse,
+              core::predicted_job_slowdown(args.dtotal,
+                                           static_cast<unsigned>(args.jobs),
+                                           advice.recommended_stripes));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  try {
+    if (args.mode == "ior") return run_ior_mode(args, false);
+    if (args.mode == "plfs") return run_ior_mode(args, true);
+    if (args.mode == "multi") return run_multi_mode(args);
+    if (args.mode == "probe") return run_probe_mode(args);
+    if (args.mode == "metrics") return run_metrics_mode(args);
+    if (args.mode == "advise") return run_advise_mode(args);
+    if (args.mode == "health") return run_health_mode(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  Args::usage_and_exit();
+}

@@ -1,0 +1,105 @@
+// Resilience study — the paper's opening argument, end to end:
+// "node-level failures are becoming more commonplace; frequent
+//  checkpointing is currently used to recover ... parallel I/O performance
+//  has stalled, meaning checkpointing is fast becoming a bottleneck."
+//
+// A 512-rank application must produce 4 hours of useful compute on the
+// simulated Cab, checkpointing 64 MiB/rank against a 6-hour system MTBF.
+// The example (1) finds the Young/Daly optimal interval from a measured
+// checkpoint cost, (2) sweeps intervals around it, and (3) shows how the
+// untuned I/O stack (ad_ufs) drags application efficiency down versus the
+// tuned ad_lustre configuration — the cost of ignoring the file system.
+#include <cstdio>
+
+#include "apps/checkpoint.hpp"
+#include "hw/platform.hpp"
+#include "support/table.hpp"
+
+using namespace pfsc;
+
+namespace {
+
+apps::CheckpointSpec base_spec(mpiio::Driver driver) {
+  apps::CheckpointSpec spec;
+  spec.nprocs = 512;
+  spec.procs_per_node = 16;
+  spec.bytes_per_rank = 64_MiB;
+  spec.work_total = 4.0 * 3600.0;
+  spec.mtbf = 6.0 * 3600.0;
+  spec.relaunch_delay = 60.0;
+  spec.hints.driver = driver;
+  if (driver == mpiio::Driver::ad_lustre) {
+    spec.hints.striping_factor = 160;
+    spec.hints.striping_unit = 128_MiB;
+  }
+  return spec;
+}
+
+apps::CheckpointOutcome run_once(apps::CheckpointSpec spec, std::uint64_t seed) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::cab_lscratchc(), seed);
+  return apps::run_checkpoint_app(fs, spec, seed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Checkpoint/restart resilience study (512 ranks, 32 GiB per "
+              "checkpoint, MTBF 6 h)\n\n");
+
+  // Step 1: measure the checkpoint cost of each I/O configuration with a
+  // short failure-free probe run.
+  double cost[2] = {0, 0};
+  const mpiio::Driver drivers[2] = {mpiio::Driver::ad_ufs, mpiio::Driver::ad_lustre};
+  for (int d = 0; d < 2; ++d) {
+    apps::CheckpointSpec probe = base_spec(drivers[d]);
+    probe.work_total = 100.0;
+    probe.interval = 100.0;
+    probe.mtbf = 0.0;
+    cost[d] = run_once(probe, 1).mean_checkpoint_seconds;
+    std::printf("measured checkpoint cost through %-9s : %7.1f s\n",
+                mpiio::driver_name(drivers[d]), cost[d]);
+  }
+  std::printf("\n");
+
+  // Step 2: optimal intervals from the measured costs.
+  for (int d = 0; d < 2; ++d) {
+    std::printf("%-9s: Young interval %6.0f s, Daly %6.0f s, predicted "
+                "efficiency at Young %4.1f%%\n",
+                mpiio::driver_name(drivers[d]),
+                apps::young_interval(cost[d], 6.0 * 3600.0),
+                apps::daly_interval(cost[d], 6.0 * 3600.0),
+                100.0 * apps::predicted_efficiency(
+                            apps::young_interval(cost[d], 6.0 * 3600.0),
+                            cost[d], 6.0 * 3600.0, 60.0 + cost[d]));
+  }
+  std::printf("\n");
+
+  // Step 3: simulate the full runs across an interval sweep.
+  TextTable table({"driver", "interval s", "makespan h", "ckpts", "wasted",
+                   "failures", "work lost h", "efficiency"});
+  for (int d = 0; d < 2; ++d) {
+    const Seconds young = apps::young_interval(cost[d], 6.0 * 3600.0);
+    for (double factor : {0.25, 1.0, 4.0}) {
+      apps::CheckpointSpec spec = base_spec(drivers[d]);
+      spec.interval = young * factor;
+      const auto out = run_once(spec, 42);
+      table.cell(mpiio::driver_name(drivers[d]))
+          .cell(fmt_double(spec.interval, 0))
+          .cell(fmt_double(out.makespan / 3600.0, 2))
+          .cell(fmt_int(out.checkpoints_written))
+          .cell(fmt_int(out.checkpoints_wasted))
+          .cell(fmt_int(out.failures))
+          .cell(fmt_double(out.work_lost / 3600.0, 2))
+          .cell(fmt_double(out.efficiency * 100.0, 1) + "%");
+      table.end_row();
+    }
+  }
+  table.print("Interval sweep around each configuration's Young optimum");
+
+  std::printf("Reading the table: the tuned stack checkpoints so much faster\n"
+              "that it can afford short intervals (little rework per failure)\n"
+              "at high efficiency, while the untuned stack loses either way —\n"
+              "the paper's Exascale warning in one experiment.\n");
+  return 0;
+}

@@ -1,0 +1,6 @@
+#!/bin/bash
+# Regenerates every paper table/figure plus ablations and microbenchmarks.
+cd /root/repo
+for b in build/bench/*; do
+  "$b"
+done

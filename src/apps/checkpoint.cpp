@@ -1,0 +1,242 @@
+#include "apps/checkpoint.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "plfs/plfs.hpp"
+#include "support/stats.hpp"
+
+namespace pfsc::apps {
+
+using lustre::Errno;
+
+Seconds young_interval(Seconds checkpoint_cost, Seconds mtbf) {
+  PFSC_REQUIRE(checkpoint_cost > 0.0 && mtbf > 0.0,
+               "young_interval: cost and MTBF must be positive");
+  return std::sqrt(2.0 * checkpoint_cost * mtbf);
+}
+
+Seconds daly_interval(Seconds checkpoint_cost, Seconds mtbf) {
+  PFSC_REQUIRE(checkpoint_cost > 0.0 && mtbf > 0.0,
+               "daly_interval: cost and MTBF must be positive");
+  // Daly (2006): t_opt = sqrt(2 C M) * [1 + 1/3 sqrt(C/(2M)) + C/(9*2M)] - C
+  // for C < 2M, else t_opt = M.
+  if (checkpoint_cost >= 2.0 * mtbf) return mtbf;
+  const double ratio = std::sqrt(checkpoint_cost / (2.0 * mtbf));
+  return std::sqrt(2.0 * checkpoint_cost * mtbf) *
+             (1.0 + ratio / 3.0 + checkpoint_cost / (18.0 * mtbf)) -
+         checkpoint_cost;
+}
+
+double predicted_efficiency(Seconds interval, Seconds checkpoint_cost,
+                            Seconds mtbf, Seconds restart_cost) {
+  PFSC_REQUIRE(interval > 0.0, "predicted_efficiency: interval must be positive");
+  // Per cycle: interval of useful work plus the checkpoint; failures arrive
+  // at rate 1/M and each costs (on average) half a cycle of rework plus the
+  // restart.
+  const Seconds cycle = interval + checkpoint_cost;
+  double overhead = checkpoint_cost / cycle;
+  if (mtbf > 0.0) {
+    const double failure_rate = 1.0 / mtbf;
+    overhead += failure_rate * (cycle / 2.0 + restart_cost);
+  }
+  return std::max(0.0, std::min(1.0, 1.0 - overhead));
+}
+
+namespace {
+
+/// Shared state of one application run; mutated only by rank 0 between
+/// paired barriers, read by everyone after.
+struct AppState {
+  CheckpointSpec spec;
+  lustre::FileSystem* fs = nullptr;
+  mpi::Runtime* rt = nullptr;
+  plfs::Plfs* plfs = nullptr;
+  Rng rng;
+
+  Seconds work_done = 0.0;
+  Seconds work_durable = 0.0;  // covered by the last valid checkpoint
+  Seconds next_failure = 0.0;
+  int durable_attempt = -1;  // index of the last valid checkpoint file
+  unsigned attempt = 0;
+  bool done = false;
+  bool needs_restart = false;
+
+  // Per-attempt collective files; created lazily by rank 0.
+  std::vector<std::unique_ptr<mpiio::File>> files;
+  std::vector<std::unique_ptr<sim::Event>> ready;
+
+  CheckpointOutcome outcome;
+  RunningStats ckpt_seconds;
+
+  void draw_next_failure(Seconds now) {
+    if (spec.mtbf <= 0.0) {
+      next_failure = std::numeric_limits<double>::infinity();
+      return;
+    }
+    const double u = rng.uniform_double();
+    next_failure = now + -spec.mtbf * std::log1p(-u);
+  }
+};
+
+/// Ready event for an attempt, created on first touch by whichever rank
+/// gets there first (single-threaded simulation: no data race).
+sim::Event& ready_for_attempt(AppState& st, unsigned attempt) {
+  if (st.ready.size() <= attempt) st.ready.resize(attempt + 1);
+  if (!st.ready[attempt]) {
+    st.ready[attempt] = std::make_unique<sim::Event>(st.fs->engine());
+  }
+  return *st.ready[attempt];
+}
+
+/// Rank 0 constructs the collective File for this attempt; everyone else
+/// waits for it.
+sim::Co<mpiio::File*> file_for_attempt(AppState& st, unsigned attempt,
+                                       int rank) {
+  sim::Event& ready = ready_for_attempt(st, attempt);
+  if (rank == 0) {
+    if (st.files.size() <= attempt) st.files.resize(attempt + 1);
+    if (!st.files[attempt]) {
+      st.files[attempt] = std::make_unique<mpiio::File>(
+          st.rt->world(), *st.fs,
+          st.spec.dir + "/ckpt." + std::to_string(attempt), st.spec.hints,
+          st.plfs);
+    }
+    ready.trigger();
+  } else if (!ready.fired()) {
+    co_await ready.wait();
+  }
+  co_return st.files[attempt].get();
+}
+
+/// Collective read of the last durable checkpoint plus the relaunch delay.
+sim::Co<void> restart_from_checkpoint(AppState& st, int rank,
+                                      lustre::Client& client) {
+  co_await st.fs->engine().delay(st.spec.relaunch_delay);
+  if (st.durable_attempt < 0) co_return;  // restart from the beginning
+  mpiio::File& file = *st.files[static_cast<std::size_t>(st.durable_attempt)];
+  const Errno e = co_await file.open(rank, client, /*create=*/false);
+  PFSC_ASSERT(e == lustre::Errno::ok);
+  const Bytes base = static_cast<Bytes>(rank) * st.spec.bytes_per_rank;
+  const Errno re = co_await file.read_at_all(rank, base, st.spec.bytes_per_rank);
+  PFSC_ASSERT(re == lustre::Errno::ok);
+  const Errno ce = co_await file.close(rank);
+  PFSC_ASSERT(ce == lustre::Errno::ok);
+}
+
+sim::Task app_rank(AppState& st, int rank) {
+  mpi::Communicator& comm = st.rt->world();
+  sim::Engine& eng = st.fs->engine();
+  lustre::Client& client = st.rt->client(rank);
+
+  if (rank == 0) {
+    auto r = co_await client.mkdir(st.spec.dir);
+    PFSC_ASSERT(r.ok() || r.err == lustre::Errno::eexist);
+    st.draw_next_failure(eng.now());
+  }
+  co_await comm.barrier(rank);
+
+  while (!st.done) {
+    // ---- compute phase -------------------------------------------------
+    const Seconds remaining = st.spec.work_total - st.work_done;
+    const Seconds chunk = std::min(st.spec.interval, remaining);
+    const Seconds phase_start = eng.now();
+    const Seconds compute_end = phase_start + chunk;
+    if (st.next_failure < compute_end) {
+      // Failure mid-compute: everyone stops at the failure instant. The
+      // partial chunk plus anything not yet durably checkpointed is lost.
+      const Seconds partial = std::max(0.0, st.next_failure - phase_start);
+      co_await eng.delay(std::max(0.0, st.next_failure - eng.now()));
+      co_await comm.barrier(rank);
+      if (rank == 0) {
+        ++st.outcome.failures;
+        st.outcome.work_lost += (st.work_done - st.work_durable) + partial;
+        st.work_done = st.work_durable;
+        st.draw_next_failure(eng.now());
+      }
+      co_await comm.barrier(rank);
+      co_await restart_from_checkpoint(st, rank, client);
+      co_await comm.barrier(rank);
+      continue;
+    }
+    co_await eng.delay(chunk);
+    co_await comm.barrier(rank);
+    if (rank == 0) st.work_done += chunk;
+    co_await comm.barrier(rank);
+
+    // ---- checkpoint phase ----------------------------------------------
+    const unsigned attempt = st.attempt;
+    mpiio::File& file = *co_await file_for_attempt(st, attempt, rank);
+    co_await comm.barrier(rank);
+    const Seconds t0 = eng.now();
+    Errno e = co_await file.open(rank, client, /*create=*/true);
+    if (e == lustre::Errno::ok) {
+      const Bytes base = static_cast<Bytes>(rank) * st.spec.bytes_per_rank;
+      for (Bytes off = 0; off < st.spec.bytes_per_rank && e == lustre::Errno::ok;
+           off += 4_MiB) {
+        const Bytes len = std::min<Bytes>(4_MiB, st.spec.bytes_per_rank - off);
+        e = co_await file.write_at_all(rank, base + off, len);
+      }
+      const Errno ce = co_await file.close(rank);
+      if (e == lustre::Errno::ok) e = ce;
+    }
+    co_await comm.barrier(rank);
+    if (rank == 0) {
+      ++st.attempt;
+      const Seconds elapsed = eng.now() - t0;
+      if (st.next_failure < eng.now() || e != lustre::Errno::ok) {
+        // The failure hit while the checkpoint was in flight (or the write
+        // failed): the file cannot be trusted. Roll back and restart.
+        ++st.outcome.checkpoints_wasted;
+        if (st.next_failure < eng.now()) {
+          ++st.outcome.failures;
+          st.draw_next_failure(eng.now());
+        }
+        st.outcome.work_lost += st.work_done - st.work_durable;
+        st.work_done = st.work_durable;
+        st.needs_restart = true;
+      } else {
+        ++st.outcome.checkpoints_written;
+        st.ckpt_seconds.add(elapsed);
+        st.work_durable = st.work_done;
+        st.durable_attempt = static_cast<int>(attempt);
+        if (st.work_done >= st.spec.work_total) st.done = true;
+      }
+    }
+    co_await comm.barrier(rank);
+    if (st.needs_restart) {
+      co_await restart_from_checkpoint(st, rank, client);
+      co_await comm.barrier(rank);
+      if (rank == 0) st.needs_restart = false;
+      co_await comm.barrier(rank);
+    }
+  }
+}
+
+}  // namespace
+
+CheckpointOutcome run_checkpoint_app(lustre::FileSystem& fs,
+                                     const CheckpointSpec& spec,
+                                     std::uint64_t seed, plfs::Plfs* plfs) {
+  PFSC_REQUIRE(spec.work_total > 0.0 && spec.interval > 0.0,
+               "run_checkpoint_app: work and interval must be positive");
+  AppState st;
+  st.spec = spec;
+  st.fs = &fs;
+  st.plfs = plfs;
+  st.rng = Rng(seed);
+  mpi::Runtime rt(fs, spec.nprocs, spec.procs_per_node);
+  st.rt = &rt;
+
+  const Seconds t0 = fs.engine().now();
+  rt.run_to_completion([&](int rank) -> sim::Task { return app_rank(st, rank); });
+
+  st.outcome.makespan = fs.engine().now() - t0;
+  st.outcome.work_done = st.work_done;
+  st.outcome.mean_checkpoint_seconds = st.ckpt_seconds.mean();
+  st.outcome.efficiency =
+      st.outcome.makespan > 0.0 ? st.work_done / st.outcome.makespan : 0.0;
+  return st.outcome;
+}
+
+}  // namespace pfsc::apps

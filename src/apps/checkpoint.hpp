@@ -1,0 +1,77 @@
+// Checkpoint/restart application model — the workload the paper's
+// introduction motivates: "long running scientific simulations require
+// checkpointing to reduce the impact of a node failure ... Writing out
+// this data to a parallel file system is fast becoming a bottleneck".
+//
+// A CheckpointApp alternates compute phases with collective checkpoint
+// writes through MPI-IO, while an exponential failure process (system
+// MTBF) destroys in-flight progress: work since the last durable
+// checkpoint is lost and the application restarts by reading that
+// checkpoint back. The outcome is the application's *efficiency* — useful
+// compute time over wall-clock — which is exactly what slow checkpoint
+// bandwidth erodes.
+//
+// The classic optimal-interval results are provided for comparison:
+// Young's approximation t_opt = sqrt(2 C M) and Daly's higher-order
+// refinement.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "mpi/runtime.hpp"
+#include "mpiio/file.hpp"
+#include "support/rng.hpp"
+
+namespace pfsc::apps {
+
+/// Young's optimal checkpoint interval: sqrt(2 * C * MTBF), valid for
+/// C << MTBF.
+Seconds young_interval(Seconds checkpoint_cost, Seconds mtbf);
+
+/// Daly's refinement (J. T. Daly, FGCS 2006), accurate for larger C/MTBF.
+Seconds daly_interval(Seconds checkpoint_cost, Seconds mtbf);
+
+/// First-order expected efficiency of a checkpointing application:
+/// useful / (useful + checkpoint overhead + expected rework + restarts).
+double predicted_efficiency(Seconds interval, Seconds checkpoint_cost,
+                            Seconds mtbf, Seconds restart_cost);
+
+struct CheckpointSpec {
+  int nprocs = 256;
+  int procs_per_node = 16;
+  /// Checkpoint payload per rank.
+  Bytes bytes_per_rank = 64_MiB;
+  /// Total useful compute the run must accumulate.
+  Seconds work_total = 3600.0;
+  /// Compute time between checkpoints.
+  Seconds interval = 600.0;
+  /// System mean time between failures (0 = no failures).
+  Seconds mtbf = 0.0;
+  /// Fixed job-relaunch delay on top of reading the checkpoint back.
+  Seconds relaunch_delay = 30.0;
+  mpiio::Hints hints;
+  std::string dir = "/ckpt";
+};
+
+struct CheckpointOutcome {
+  Seconds makespan = 0.0;
+  Seconds work_done = 0.0;
+  unsigned checkpoints_written = 0;
+  unsigned checkpoints_wasted = 0;  // invalidated by a failure mid-write
+  unsigned failures = 0;
+  Seconds work_lost = 0.0;
+  Seconds mean_checkpoint_seconds = 0.0;
+  double efficiency = 0.0;  // work_done / makespan
+};
+
+/// Run the checkpoint/restart loop on an existing file system (the caller
+/// owns engine + fs so several apps can share a contended system).
+/// Blocks until the app completes its work (runs the engine).
+CheckpointOutcome run_checkpoint_app(lustre::FileSystem& fs,
+                                     const CheckpointSpec& spec,
+                                     std::uint64_t seed,
+                                     plfs::Plfs* plfs = nullptr);
+
+}  // namespace pfsc::apps

@@ -1,0 +1,213 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace pfsc::core {
+
+double d_inuse(std::span<const double> requests, double d_total) {
+  PFSC_REQUIRE(d_total > 0.0, "d_inuse: d_total must be positive");
+  double in_use = 0.0;
+  for (double r : requests) {
+    PFSC_REQUIRE(r >= 0.0 && r <= d_total, "d_inuse: request out of range");
+    in_use += r - (in_use / d_total) * r;  // Eq. 1
+  }
+  return in_use;
+}
+
+double d_inuse_uniform(double r, unsigned n, double d_total) {
+  PFSC_REQUIRE(d_total > 0.0, "d_inuse_uniform: d_total must be positive");
+  PFSC_REQUIRE(r >= 0.0 && r <= d_total, "d_inuse_uniform: r out of range");
+  // Eq. 2
+  return d_total - d_total * std::pow(1.0 - r / d_total, static_cast<double>(n));
+}
+
+double d_req(double r, unsigned n) { return r * static_cast<double>(n); }
+
+double d_load(double r, unsigned n, double d_total) {
+  if (n == 0) return 0.0;
+  const double in_use = d_inuse_uniform(r, n, d_total);
+  PFSC_REQUIRE(in_use > 0.0, "d_load: no OSTs in use");
+  return d_req(r, n) / in_use;  // Eq. 4
+}
+
+double plfs_d_inuse(unsigned ranks, double d_total, double stripes_per_rank) {
+  return d_inuse_uniform(stripes_per_rank, ranks, d_total);  // Eq. 5
+}
+
+double plfs_d_load(unsigned ranks, double d_total, double stripes_per_rank) {
+  if (ranks == 0) return 0.0;
+  return d_req(stripes_per_rank, ranks) /
+         plfs_d_inuse(ranks, d_total, stripes_per_rank);  // Eq. 6
+}
+
+std::vector<double> occupancy_expectation(unsigned d_total, unsigned n,
+                                          unsigned r) {
+  PFSC_REQUIRE(d_total > 0, "occupancy_expectation: d_total must be positive");
+  PFSC_REQUIRE(r <= d_total, "occupancy_expectation: r > d_total");
+  const double p = static_cast<double>(r) / static_cast<double>(d_total);
+  std::vector<double> out(static_cast<std::size_t>(n) + 1, 0.0);
+  // Binomial pmf in log space for numerical stability at large n.
+  const double log_p = p > 0.0 ? std::log(p) : 0.0;
+  const double log_q = p < 1.0 ? std::log1p(-p) : 0.0;
+  for (unsigned k = 0; k <= n; ++k) {
+    if ((p == 0.0 && k > 0) || (p == 1.0 && k < n)) continue;
+    const double log_choose = std::lgamma(static_cast<double>(n) + 1.0) -
+                              std::lgamma(static_cast<double>(k) + 1.0) -
+                              std::lgamma(static_cast<double>(n - k) + 1.0);
+    const double log_pmf = log_choose + static_cast<double>(k) * log_p +
+                           static_cast<double>(n - k) * log_q;
+    out[k] = static_cast<double>(d_total) * std::exp(log_pmf);
+  }
+  return out;
+}
+
+std::vector<double> occupancy_monte_carlo(unsigned d_total, unsigned n,
+                                          unsigned r, Rng& rng,
+                                          unsigned reps) {
+  PFSC_REQUIRE(reps > 0, "occupancy_monte_carlo: reps must be positive");
+  std::vector<double> acc(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<std::uint32_t> counts(d_total);
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (unsigned j = 0; j < n; ++j) {
+      for (auto ost : rng.sample_without_replacement(d_total, r)) ++counts[ost];
+    }
+    for (auto c : counts) acc[c] += 1.0;
+  }
+  for (auto& v : acc) v /= static_cast<double>(reps);
+  return acc;
+}
+
+std::vector<ContentionPoint> contention_table(double r, unsigned max_jobs,
+                                              double d_total) {
+  std::vector<ContentionPoint> out;
+  out.reserve(max_jobs);
+  for (unsigned n = 1; n <= max_jobs; ++n) {
+    ContentionPoint pt;
+    pt.jobs = n;
+    pt.d_inuse = d_inuse_uniform(r, n, d_total);
+    pt.d_req = d_req(r, n);
+    pt.d_load = pt.d_req / pt.d_inuse;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+StripeAdvice advise_stripe_count(double d_total, unsigned expected_jobs,
+                                 double load_budget,
+                                 std::uint32_t max_stripes) {
+  PFSC_REQUIRE(load_budget >= 1.0, "advise_stripe_count: budget below 1 is unsatisfiable");
+  StripeAdvice advice;
+  for (std::uint32_t r = 1; r <= max_stripes &&
+                            static_cast<double>(r) <= d_total; ++r) {
+    const double load = d_load(static_cast<double>(r), expected_jobs, d_total);
+    // Tolerate pow()'s last-ulp noise so e.g. a single job at R = D_total
+    // (exactly load 1.0) passes a budget of 1.0.
+    if (load <= load_budget * (1.0 + 1e-12)) {
+      advice.recommended_stripes = r;
+      advice.predicted_load = load;
+      advice.predicted_inuse =
+          d_inuse_uniform(static_cast<double>(r), expected_jobs, d_total);
+    }
+  }
+  return advice;
+}
+
+unsigned plfs_cores_at_load(double d_total, double load_threshold,
+                            double stripes_per_rank) {
+  PFSC_REQUIRE(load_threshold >= 1.0, "plfs_cores_at_load: threshold below 1");
+  // D_load is monotone increasing in n; binary search the crossover.
+  unsigned lo = 1;
+  unsigned hi = 1;
+  while (plfs_d_load(hi, d_total, stripes_per_rank) < load_threshold) {
+    lo = hi;
+    hi *= 2;
+    if (hi > (1u << 28)) return hi;  // threshold effectively unreachable
+  }
+  while (lo < hi) {
+    const unsigned mid = lo + (hi - lo) / 2;
+    if (plfs_d_load(mid, d_total, stripes_per_rank) < load_threshold) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+/// log of the Binomial(n, p) pmf at k.
+double log_binom_pmf(unsigned n, double p, unsigned k) {
+  if (p <= 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return k == n ? 0.0 : -std::numeric_limits<double>::infinity();
+  const double log_choose = std::lgamma(static_cast<double>(n) + 1.0) -
+                            std::lgamma(static_cast<double>(k) + 1.0) -
+                            std::lgamma(static_cast<double>(n - k) + 1.0);
+  return log_choose + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+}  // namespace
+
+double occupancy_cdf(unsigned d_total, unsigned n, unsigned r, unsigned k) {
+  PFSC_REQUIRE(d_total > 0, "occupancy_cdf: d_total must be positive");
+  PFSC_REQUIRE(r <= d_total, "occupancy_cdf: r > d_total");
+  if (k >= n) return 1.0;
+  const double p = static_cast<double>(r) / static_cast<double>(d_total);
+  double cdf = 0.0;
+  for (unsigned j = 0; j <= k; ++j) cdf += std::exp(log_binom_pmf(n, p, j));
+  return std::min(cdf, 1.0);
+}
+
+double expected_max_occupancy(unsigned d_total, unsigned n, unsigned r,
+                              unsigned targets) {
+  PFSC_REQUIRE(targets > 0, "expected_max_occupancy: need >= 1 target");
+  // E[max] = sum_{k=0}^{n-1} (1 - P[max <= k]); the occupancies are not
+  // exactly independent across OSTs (each job's R picks are without
+  // replacement) but the iid approximation is tight for r << d_total and
+  // matches Monte Carlo well (see tests).
+  double expectation = 0.0;
+  for (unsigned k = 0; k < n; ++k) {
+    const double cdf = occupancy_cdf(d_total, n, r, k);
+    expectation += 1.0 - std::pow(cdf, static_cast<double>(targets));
+  }
+  return expectation;
+}
+
+double predicted_job_slowdown(unsigned d_total, unsigned n, unsigned r) {
+  PFSC_REQUIRE(n >= 1, "predicted_job_slowdown: need >= 1 job");
+  if (n == 1) return 1.0;
+  // Each of this job's R OSTs is additionally used by Binomial(n-1, R/D)
+  // other jobs; the job drains at the pace of its most-shared target.
+  const double p = static_cast<double>(r) / static_cast<double>(d_total);
+  double expectation = 0.0;
+  for (unsigned k = 0; k + 1 < n; ++k) {
+    double cdf = 0.0;
+    for (unsigned j = 0; j <= k; ++j) cdf += std::exp(log_binom_pmf(n - 1, p, j));
+    expectation += 1.0 - std::pow(std::min(cdf, 1.0), static_cast<double>(r));
+  }
+  return 1.0 + expectation;
+}
+
+ObservedContention observe(std::span<const std::uint32_t> per_ost_counts) {
+  ObservedContention obs;
+  std::uint32_t max_k = 0;
+  for (auto c : per_ost_counts) {
+    if (c > 0) {
+      obs.d_inuse += 1.0;
+      obs.d_req += static_cast<double>(c);
+    }
+    max_k = std::max(max_k, c);
+  }
+  obs.histogram.assign(max_k + 1, 0);
+  for (auto c : per_ost_counts) ++obs.histogram[c];
+  obs.d_load = obs.d_inuse > 0.0 ? obs.d_req / obs.d_inuse : 0.0;
+  return obs;
+}
+
+}  // namespace pfsc::core

@@ -1,0 +1,126 @@
+// Contention metrics for parallel file systems — the paper's contribution.
+//
+// For `n` concurrent jobs, each striping over `R` of `D_total` OSTs chosen
+// uniformly at random, the paper derives:
+//
+//   Eq. 1  D_inuse(n) = D_inuse(n-1) + (r_j - D_inuse(n-1)/D_total * r_j)
+//   Eq. 2  D_inuse    = D_total - D_total * (1 - R/D_total)^n
+//   Eq. 3  D_req      = R * n
+//   Eq. 4  D_load     = D_req / D_inuse
+//
+// and for PLFS, which turns one n-rank application into n files of
+// `stripes_per_rank` (= 2 by default) stripes each:
+//
+//   Eq. 5  D_inuse = D_total - D_total * (1 - 2/D_total)^n
+//   Eq. 6  D_load  = 2n / D_inuse
+//
+// Beyond the paper's equations this module provides the full occupancy
+// distribution (expected number of OSTs used by exactly k of the n jobs —
+// the "OST Usage 1 2 3 4" columns of Table V and the collision histograms
+// of Tables VIII/IX follow from it), a Monte-Carlo cross-check, and QoS
+// advisors built on the metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pfsc::core {
+
+/// Eq. 1: expected OSTs in use after jobs with (possibly different)
+/// stripe requests `requests` have started, on `d_total` targets.
+double d_inuse(std::span<const double> requests, double d_total);
+
+/// Eq. 2: closed form when every job requests `r` stripes.
+double d_inuse_uniform(double r, unsigned n, double d_total);
+
+/// Eq. 3: total stripes requested.
+double d_req(double r, unsigned n);
+
+/// Eq. 4: mean load per in-use OST.
+double d_load(double r, unsigned n, double d_total);
+
+/// Eq. 5: expected OSTs in use under PLFS with `ranks` writers.
+double plfs_d_inuse(unsigned ranks, double d_total, double stripes_per_rank = 2.0);
+
+/// Eq. 6: mean OST load under PLFS.
+double plfs_d_load(unsigned ranks, double d_total, double stripes_per_rank = 2.0);
+
+/// Expected number of OSTs used by exactly k of the n jobs, k = 0..n.
+/// Each job independently samples `r` distinct OSTs out of `d_total`, so a
+/// given OST is used by Binomial(n, r/d_total) jobs.
+std::vector<double> occupancy_expectation(unsigned d_total, unsigned n,
+                                          unsigned r);
+
+/// Monte-Carlo estimate of the same distribution (`reps` random placements);
+/// used to validate the closed form and for non-uniform policies.
+std::vector<double> occupancy_monte_carlo(unsigned d_total, unsigned n,
+                                          unsigned r, Rng& rng, unsigned reps);
+
+/// Everything Table III/IV/VI report for one (d_total, r, n) point.
+struct ContentionPoint {
+  unsigned jobs = 0;
+  double d_inuse = 0.0;
+  double d_req = 0.0;
+  double d_load = 0.0;
+};
+
+/// Sweep n = 1..max_jobs for a fixed request size (one paper table).
+std::vector<ContentionPoint> contention_table(double r, unsigned max_jobs,
+                                              double d_total);
+
+// ---------------------------------------------------------------------------
+// Derived analyses / advisors
+// ---------------------------------------------------------------------------
+
+/// Largest stripe count R <= max_stripes whose predicted load with
+/// `expected_jobs` concurrent jobs stays within `load_budget`.
+struct StripeAdvice {
+  std::uint32_t recommended_stripes = 0;
+  double predicted_load = 0.0;
+  double predicted_inuse = 0.0;
+};
+StripeAdvice advise_stripe_count(double d_total, unsigned expected_jobs,
+                                 double load_budget, std::uint32_t max_stripes);
+
+/// Smallest rank count at which PLFS's self-contention load reaches
+/// `load_threshold` (the paper quotes 688 cores for load 3 on lscratchc).
+unsigned plfs_cores_at_load(double d_total, double load_threshold,
+                            double stripes_per_rank = 2.0);
+
+/// Observed load from a measured per-OST occupancy vector (counts of files
+/// or jobs using each OST): D_req / D_inuse with D_inuse = #nonzero.
+struct ObservedContention {
+  double d_inuse = 0.0;
+  double d_req = 0.0;
+  double d_load = 0.0;
+  /// hist[k] = number of OSTs used by exactly k files/jobs.
+  std::vector<std::uint32_t> histogram;
+};
+ObservedContention observe(std::span<const std::uint32_t> per_ost_counts);
+
+// ---------------------------------------------------------------------------
+// Order statistics (extension beyond the paper).
+//
+// The paper's D_load is a *mean*; synchronous applications are gated by
+// their *worst* OST. Because each OST is used by Binomial(n, r/d_total)
+// jobs, the busiest target of a whole file system — or of one job's R-OST
+// layout — follows the max of iid binomials, which these helpers evaluate.
+// ---------------------------------------------------------------------------
+
+/// P[Binomial(n, r/d_total) <= k].
+double occupancy_cdf(unsigned d_total, unsigned n, unsigned r, unsigned k);
+
+/// Expected maximum occupancy over `targets` independent OSTs
+/// (E[max] = sum_k P[max > k], with P[max <= k] = cdf(k)^targets).
+double expected_max_occupancy(unsigned d_total, unsigned n, unsigned r,
+                              unsigned targets);
+
+/// Predicted slowdown of one job contending with (n-1) identical others:
+/// its runtime is gated by the most-shared of its own R OSTs, so
+/// slowdown ~ E[max over R of (1 + Binomial(n-1, R/D))].
+double predicted_job_slowdown(unsigned d_total, unsigned n, unsigned r);
+
+}  // namespace pfsc::core

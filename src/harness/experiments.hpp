@@ -1,0 +1,112 @@
+// Experiment drivers shared by the bench binaries and the integration
+// tests: each builds a fresh simulated platform (engine + file system +
+// runtime) from a seed, runs one experiment, and returns the measurements.
+// Fresh-state-per-run keeps repetitions independent, exactly like
+// resubmitting a batch job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "hw/platform.hpp"
+#include "ior/ior.hpp"
+#include "ior/probe.hpp"
+#include "support/stats.hpp"
+
+namespace pfsc::harness {
+
+// ---------------------------------------------------------------------------
+// Background noise: lscratchc is a shared-user file system ("there is some
+// variance in performance with no forced contention"). Optional independent
+// writers with default layouts run alongside any experiment.
+// ---------------------------------------------------------------------------
+struct NoiseSpec {
+  unsigned writers = 0;
+  Bytes bytes_per_writer = 256_MiB;
+  Bytes transfer_size = 1_MiB;
+  std::uint32_t stripes = 2;  // background users rarely tune
+  Bytes stripe_size = 1_MiB;
+};
+
+/// Spawn the background writers on `fs` (each an independent client with a
+/// default-layout file, started immediately). The engine owns the spawned
+/// processes; `clients` receives ownership of the Client objects and must
+/// outlive the run.
+void spawn_background_noise(lustre::FileSystem& fs,
+                            std::vector<std::unique_ptr<lustre::Client>>& clients,
+                            const NoiseSpec& noise, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Single IOR job (Figure 1 sweep points, Figure 5 Lustre/PLFS curves).
+// ---------------------------------------------------------------------------
+struct IorRunSpec {
+  int nprocs = 1024;
+  int procs_per_node = 16;
+  ior::Config ior;
+  hw::PlatformParams platform = hw::cab_lscratchc();
+  NoiseSpec noise;  // writers == 0: quiet system
+};
+
+ior::Result run_single_ior(const IorRunSpec& spec, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// PLFS-backed IOR with backend collision census (Fig. 5, Tables VIII/IX).
+// ---------------------------------------------------------------------------
+struct PlfsRunResult {
+  ior::Result ior;
+  core::ObservedContention backend;  // per-OST data-file occupancy
+};
+
+PlfsRunResult run_plfs_ior(const IorRunSpec& spec, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// N simultaneous IOR jobs in one MPI world via comm_split
+// (Figures 3 & 4, Table V).
+// ---------------------------------------------------------------------------
+struct MultiJobSpec {
+  int jobs = 4;
+  int procs_per_job = 1024;
+  int procs_per_node = 16;
+  ior::Config ior;  // test_file gets a per-job suffix
+  hw::PlatformParams platform = hw::cab_lscratchc();
+};
+
+struct MultiJobResult {
+  std::vector<ior::Result> per_job;
+  double mean_mbps = 0.0;
+  double total_mbps = 0.0;
+  /// Cross-job OST occupancy census over the jobs' shared-file layouts.
+  core::ObservedContention contention;
+};
+
+MultiJobResult run_multi_ior(const MultiJobSpec& spec, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Single-OST contention probe (Figure 2).
+// ---------------------------------------------------------------------------
+struct ProbeSpec {
+  std::uint32_t writers = 1;
+  Bytes bytes_per_writer = 64_MiB;
+  int procs_per_node = 16;
+  hw::PlatformParams platform = hw::cab_lscratchc();
+  /// Shared-system noise; the paper derives Figure 2's ideal band from the
+  /// single-writer variance a busy file system naturally exhibits.
+  NoiseSpec noise;
+};
+
+ior::ProbeResult run_probe_experiment(const ProbeSpec& spec, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Repetition helper: run fn(seed_i) `reps` times with derived seeds.
+// ---------------------------------------------------------------------------
+struct RepeatedStats {
+  std::vector<double> samples;
+  ConfidenceInterval ci;
+};
+
+RepeatedStats repeat(unsigned reps, std::uint64_t base_seed,
+                     const std::function<double(std::uint64_t)>& fn);
+
+}  // namespace pfsc::harness

@@ -1,0 +1,40 @@
+#include "hw/platform.hpp"
+
+namespace pfsc::hw {
+
+PlatformParams cab_lscratchc() {
+  PlatformParams p;
+  p.name = "cab-lscratchc";
+  // Defaults in the struct are the calibrated Cab values.
+  return p;
+}
+
+PlatformParams stampede_fs() {
+  PlatformParams p;
+  p.name = "stampede-scratch";
+  p.nodes = 6400;
+  p.cores_per_node = 16;
+  p.oss_count = 58;
+  p.ost_count = 160;
+  p.oss_bw = mb_per_sec(2600.0);  // ~150 GB/s theoretical scratch
+  p.fabric_bw = mb_per_sec(100000.0);
+  p.max_stripe_count = 160;
+  return p;
+}
+
+PlatformParams tiny_test_platform() {
+  PlatformParams p;
+  p.name = "tiny-test";
+  p.nodes = 8;
+  p.cores_per_node = 4;
+  p.oss_count = 2;
+  p.ost_count = 8;
+  p.oss_bw = mb_per_sec(800.0);
+  p.fabric_bw = mb_per_sec(4000.0);
+  p.max_stripe_count = 8;
+  p.default_stripe_count = 2;
+  p.mds_create_time = 0.1e-3;
+  return p;
+}
+
+}  // namespace pfsc::hw

@@ -1,0 +1,97 @@
+// IOR-style synthetic workload engine.
+//
+// Reproduces the access pattern of the paper's Table II configuration:
+// a shared file written through MPI-IO with blockSize 4 MiB, transferSize
+// 1 MiB and segmentCount 100 (segmented layout: segment s, rank r writes
+// block s*n + r). Timing follows IOR: barrier, open+write+close, barrier;
+// bandwidth = aggregate bytes / elapsed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "mpiio/file.hpp"
+
+namespace pfsc::ior {
+
+struct Config {
+  Bytes block_size = 4_MiB;
+  Bytes transfer_size = 1_MiB;
+  std::uint32_t segment_count = 100;
+  bool write_file = true;
+  bool read_file = false;
+  /// write_at_all / read_at_all (IOR's `-c` collective mode) vs write_at.
+  bool use_collective = true;
+  /// IOR's -F: one file per process instead of a single shared file.
+  bool file_per_process = false;
+  /// IOR's -C: shift ranks by this many positions for the read phase, so
+  /// nobody re-reads what it wrote (defeats client caching on real
+  /// systems; here it exercises cross-rank read resolution).
+  int reorder_tasks = 0;
+  std::string test_file = "/ior.dat";
+  mpiio::Hints hints;
+  /// After the write phase, assert that the file covers the full extent
+  /// (costless introspection; catches middleware bugs in every run).
+  bool verify_extents = true;
+};
+
+struct Result {
+  lustre::Errno err = lustre::Errno::ok;
+  Seconds write_time = 0.0;
+  Seconds read_time = 0.0;
+  Bytes total_bytes = 0;
+  double write_mbps = 0.0;
+  double read_mbps = 0.0;
+  bool verified = false;
+};
+
+/// One IOR execution across a communicator. Spawn rank_main for every rank
+/// of `comm`; after the engine runs, result() holds the aggregate numbers.
+class IorJob {
+ public:
+  IorJob(mpi::Communicator& comm, lustre::FileSystem& fs, Config config,
+         plfs::Plfs* plfs = nullptr);
+
+  IorJob(const IorJob&) = delete;
+  IorJob& operator=(const IorJob&) = delete;
+
+  sim::Task rank_main(int rank, lustre::Client& client);
+
+  /// Same body as rank_main but awaitable from another coroutine (used when
+  /// several jobs share one MPI world via comm_split).
+  sim::Co<void> run_rank(int rank, lustre::Client& client);
+
+  bool finished() const { return finished_ == comm_->size(); }
+  const Result& result() const;
+  const Config& config() const { return config_; }
+  mpiio::File& file() { return *file_; }
+
+  /// Per-process data volume (block_size rounded to whole transfers).
+  Bytes bytes_per_rank() const;
+
+ private:
+  sim::Co<void> write_phase(int rank, lustre::Client& client, Result& local);
+  sim::Co<void> read_phase(int rank, lustre::Client& client, Result& local);
+  Bytes rank_offset(std::uint32_t segment, int rank, std::uint32_t transfer) const;
+
+  mpiio::File& file_for(int rank);
+
+  mpi::Communicator* comm_;
+  lustre::FileSystem* fs_;
+  Config config_;
+  plfs::Plfs* plfs_;
+  std::unique_ptr<mpiio::File> file_;  // shared-file mode
+  // file-per-process mode: one single-rank communicator + File per rank.
+  std::vector<std::unique_ptr<mpi::Communicator>> self_comms_;
+  std::vector<std::unique_ptr<mpiio::File>> rank_files_;
+  Result result_;
+  int finished_ = 0;
+};
+
+/// Convenience: run one IOR job over a fresh runtime and return the result.
+Result run_ior(mpi::Runtime& runtime, Config config, plfs::Plfs* plfs = nullptr);
+
+}  // namespace pfsc::ior

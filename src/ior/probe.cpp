@@ -1,0 +1,67 @@
+#include "ior/probe.hpp"
+
+#include "support/stats.hpp"
+
+namespace pfsc::ior {
+
+namespace {
+
+sim::Task probe_rank(mpi::Runtime& runtime, const ProbeConfig& config, int rank,
+                     ProbeResult& out) {
+  lustre::Client& client = runtime.client(rank);
+  mpi::Communicator& comm = runtime.world();
+  sim::Engine& eng = runtime.engine();
+
+  // Rank 0 makes the directory (races with nothing: rank order within the
+  // same timestamp is deterministic, and EEXIST is tolerated anyway).
+  if (!runtime.fs().exists(config.dir)) {
+    auto made = co_await client.mkdir(config.dir);
+    PFSC_ASSERT(made.ok() || made.err == lustre::Errno::eexist);
+  }
+  co_await comm.barrier(rank);
+
+  // Each rank writes its own file, all pinned to the same OST by the
+  // stripe_offset hint, with a single 1 MiB stripe.
+  lustre::StripeSettings settings;
+  settings.stripe_count = 1;
+  settings.stripe_size = 1_MiB;
+  settings.stripe_offset = static_cast<std::int32_t>(config.target_ost);
+
+  const std::string path = config.dir + "/f" + std::to_string(rank);
+  auto created = co_await client.create(path, settings);
+  PFSC_ASSERT(created.ok());
+
+  co_await comm.barrier(rank);
+  const Seconds t0 = eng.now();
+  Bytes done = 0;
+  // Buffered POSIX writes (the page cache pipelines them), fsync'd at the
+  // end -- what the custom benchmark on Cab really did.
+  while (done < config.bytes_per_writer) {
+    const Bytes chunk =
+        std::min<Bytes>(config.transfer_size, config.bytes_per_writer - done);
+    const lustre::Errno e = co_await client.write_buffered(created.value, done, chunk);
+    PFSC_ASSERT(e == lustre::Errno::ok);
+    done += chunk;
+  }
+  const lustre::Errno fe = co_await client.flush();
+  PFSC_ASSERT(fe == lustre::Errno::ok);
+  const Seconds elapsed = eng.now() - t0;
+  out.per_process_mbps[static_cast<std::size_t>(rank)] =
+      bandwidth_mbps(config.bytes_per_writer, elapsed);
+}
+
+}  // namespace
+
+ProbeResult run_probe(mpi::Runtime& runtime, const ProbeConfig& config) {
+  PFSC_REQUIRE(runtime.nprocs() == static_cast<int>(config.num_writers),
+               "run_probe: runtime size must match num_writers");
+  ProbeResult result;
+  result.per_process_mbps.assign(config.num_writers, 0.0);
+  runtime.run_to_completion([&](int rank) -> sim::Task {
+    return probe_rank(runtime, config, rank, result);
+  });
+  result.mean_mbps = mean_of(result.per_process_mbps);
+  return result;
+}
+
+}  // namespace pfsc::ior

@@ -1,0 +1,39 @@
+// Single-OST contention probe (the custom benchmark behind Figure 2).
+//
+// "a custom-written benchmark that creates a split communicator that
+//  therefore allows each process to read and write its own file in a single
+//  MPI application. The benchmark opens a number of files, with the same
+//  Lustre configuration (a single 1 MB stripe). Using the stripe_offset MPI
+//  hint, the OST to use is specified such that every rank writes to its own
+//  file that is stored on the same target."
+//
+// Every writer gets its own file pinned to `target_ost`; per-process
+// bandwidth is measured individually so the divergence from ideal 1/n
+// scaling is visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+
+namespace pfsc::ior {
+
+struct ProbeConfig {
+  std::uint32_t num_writers = 1;
+  Bytes bytes_per_writer = 64_MiB;
+  Bytes transfer_size = 1_MiB;
+  lustre::OstIndex target_ost = 0;
+  std::string dir = "/probe";
+};
+
+struct ProbeResult {
+  std::vector<double> per_process_mbps;
+  double mean_mbps = 0.0;
+};
+
+/// Runs the probe on an existing runtime (spawns its own rank processes and
+/// runs the engine to completion).
+ProbeResult run_probe(mpi::Runtime& runtime, const ProbeConfig& config);
+
+}  // namespace pfsc::ior

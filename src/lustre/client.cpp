@@ -1,0 +1,132 @@
+#include "lustre/client.hpp"
+
+#include <algorithm>
+
+namespace pfsc::lustre {
+
+Client::Client(FileSystem& fs, std::string name, sim::BandwidthPipe* node_nic)
+    : fs_(&fs),
+      eng_(&fs.engine()),
+      name_(std::move(name)),
+      proc_pipe_(fs.engine(), fs.params().per_process_bw),
+      node_nic_(node_nic),
+      rpc_slots_(fs.engine(), fs.params().client_max_rpcs_in_flight),
+      writeback_space_(fs.engine()),
+      writeback_idle_(fs.engine()) {}
+
+sim::Co<Result<InodeId>> Client::create(std::string path, StripeSettings settings) {
+  co_return co_await fs_->create(std::move(path), settings);
+}
+sim::Co<Result<InodeId>> Client::open(std::string path) {
+  co_return co_await fs_->open(std::move(path));
+}
+sim::Co<Result<InodeId>> Client::mkdir(std::string path) {
+  co_return co_await fs_->mkdir(std::move(path));
+}
+sim::Co<Errno> Client::unlink(std::string path) {
+  co_return co_await fs_->unlink(std::move(path));
+}
+
+sim::Task Client::rpc(OstIndex ost, ObjectId object, Bytes object_offset,
+                      Bytes bytes, bool is_write, std::shared_ptr<IoState> state) {
+  co_await rpc_slots_.acquire();
+  if (fs_->ost_failed(ost)) {
+    if (state->err == Errno::ok) state->err = Errno::eio;
+    rpc_slots_.release();
+    co_return;
+  }
+  const Seconds latency = fs_->params().rpc_latency;
+  co_await proc_pipe_.transfer(bytes);
+  if (node_nic_ != nullptr) co_await node_nic_->transfer(bytes);
+  co_await fs_->fabric().transfer(bytes);
+  co_await eng_->delay(latency);
+  co_await fs_->oss_pipe_for_ost(ost).transfer(bytes);
+  co_await fs_->ost_disk(ost).submit(object, object_offset, bytes, is_write);
+  co_await eng_->delay(latency);  // reply
+  if (fs_->ost_failed(ost) && state->err == Errno::ok) state->err = Errno::eio;
+  rpc_slots_.release();
+}
+
+sim::Co<void> Client::local_copy(Bytes bytes) {
+  if (bytes > 0) co_await proc_pipe_.transfer(bytes);
+}
+
+sim::Task Client::drain_buffered(InodeId file, Bytes offset, Bytes length) {
+  const Errno e = co_await io(file, offset, length, /*is_write=*/true);
+  if (e != Errno::ok && async_err_ == Errno::ok) async_err_ = e;
+  dirty_bytes_ -= length;
+  writeback_space_.notify_all();
+  PFSC_ASSERT(outstanding_buffered_ > 0);
+  if (--outstanding_buffered_ == 0) writeback_idle_.trigger();
+}
+
+sim::Co<Errno> Client::write_buffered(InodeId file, Bytes offset, Bytes length) {
+  if (length == 0) co_return Errno::ok;
+  const Bytes budget = fs_->params().client_writeback_bytes;
+  if (budget == 0) co_return co_await write(file, offset, length);
+  // Admission: wait until the dirty data fits the budget (an oversized
+  // single write is admitted alone, like a huge write would be).
+  while (dirty_bytes_ > 0 && dirty_bytes_ + length > budget) {
+    co_await writeback_space_.wait();
+  }
+  dirty_bytes_ += length;
+  if (outstanding_buffered_++ == 0) writeback_idle_.reset();
+  eng_->spawn(drain_buffered(file, offset, length));
+  co_return Errno::ok;
+}
+
+sim::Co<Errno> Client::flush() {
+  while (outstanding_buffered_ > 0) co_await writeback_idle_.wait();
+  const Errno e = async_err_;
+  async_err_ = Errno::ok;
+  co_return e;
+}
+
+sim::Co<Errno> Client::io(InodeId file, Bytes offset, Bytes length, bool is_write) {
+  if (length == 0) co_return Errno::ok;
+  Inode& node = fs_->inode(file);
+  if (node.is_dir) co_return Errno::eisdir;
+  PFSC_REQUIRE(!node.layout.osts.empty(), "io: file has no layout");
+
+  auto state = std::make_shared<IoState>();
+  std::vector<sim::Task> inflight;
+  for (const LayoutSegment& seg : segments(node.layout, offset, length)) {
+    // Split each per-object run into bulk RPCs of at most max_rpc_size.
+    Bytes done = 0;
+    while (done < seg.length) {
+      const Bytes chunk =
+          std::min<Bytes>(fs_->params().max_rpc_size, seg.length - done);
+      sim::Task t = rpc(node.layout.osts[seg.layout_index],
+                        node.layout.objects[seg.layout_index],
+                        seg.object_offset + done, chunk, is_write, state);
+      eng_->spawn(t);
+      inflight.push_back(std::move(t));
+      done += chunk;
+    }
+  }
+  co_await sim::join_all(std::move(inflight));
+
+  if (state->err != Errno::ok) co_return state->err;
+  if (is_write) {
+    node.written.insert(offset, length);
+    node.size = std::max(node.size, offset + length);
+    bytes_written_ += length;
+  } else {
+    bytes_read_ += length;
+  }
+  co_return Errno::ok;
+}
+
+sim::Co<Errno> Client::write(InodeId file, Bytes offset, Bytes length) {
+  co_return co_await io(file, offset, length, /*is_write=*/true);
+}
+
+sim::Co<Errno> Client::read(InodeId file, Bytes offset, Bytes length) {
+  // Reading past EOF is an error for the simulated apps (they always read
+  // back what was written); holes inside the file read as zeros.
+  Inode& node = fs_->inode(file);
+  if (!node.is_dir && offset + length > node.size) co_return Errno::einval;
+  co_return co_await io(file, offset, length, /*is_write=*/false);
+}
+
+}  // namespace pfsc::lustre

@@ -1,0 +1,91 @@
+// Lustre client: the per-process data path.
+//
+// A Client owns the process-local I/O ceiling (one core's worth of memcpy +
+// RPC stack) and optionally shares a node NIC pipe with the other clients
+// on its node. write()/read() decompose an extent into per-object bulk RPCs
+// (capped at max_rpc_size) and pipeline them with at most
+// `client_max_rpcs_in_flight` outstanding, each flowing
+//
+//   process pipe -> node NIC -> fabric -> OSS pipe -> OST disk
+//
+// which is where every bandwidth effect in the paper's experiments arises.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lustre/fs.hpp"
+
+namespace pfsc::lustre {
+
+class Client {
+ public:
+  /// `node_nic` may be shared by several clients (one per node); pass
+  /// nullptr for a client with no node-level bottleneck.
+  Client(FileSystem& fs, std::string name, sim::BandwidthPipe* node_nic = nullptr);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // -- namespace (forwarded to the MDS) ---------------------------------
+  sim::Co<Result<InodeId>> create(std::string path, StripeSettings settings);
+  sim::Co<Result<InodeId>> open(std::string path);
+  sim::Co<Result<InodeId>> mkdir(std::string path);
+  sim::Co<Errno> unlink(std::string path);
+
+  // -- data --------------------------------------------------------------
+  sim::Co<Errno> write(InodeId file, Bytes offset, Bytes length);
+  sim::Co<Errno> read(InodeId file, Bytes offset, Bytes length);
+
+  /// Buffered (page-cache) write: returns once the data is accepted into
+  /// the client's write-back budget; the transfer to the servers continues
+  /// asynchronously. Errors surface at the next flush(). This is how POSIX
+  /// buffered writes behave on a Lustre client.
+  sim::Co<Errno> write_buffered(InodeId file, Bytes offset, Bytes length);
+
+  /// Wait for all buffered writes to reach the servers; returns the first
+  /// asynchronous error, if any (fsync semantics).
+  sim::Co<Errno> flush();
+
+  /// Cost of staging `bytes` through this process (collective-buffer
+  /// shuffle, scatter after collective reads): occupies the per-process
+  /// pipe but moves nothing over the I/O fabric.
+  sim::Co<void> local_copy(Bytes bytes);
+
+  const std::string& name() const { return name_; }
+  Bytes bytes_written() const { return bytes_written_; }
+  Bytes bytes_read() const { return bytes_read_; }
+  FileSystem& fs() { return *fs_; }
+  /// Identity of this client's node (clients sharing a NIC share a node).
+  const void* node_key() const { return node_nic_; }
+  /// Per-process pipe statistics (diagnostics/benchmarks).
+  const sim::BandwidthPipe& proc_pipe() const { return proc_pipe_; }
+
+ private:
+  struct IoState {
+    Errno err = Errno::ok;
+  };
+
+  sim::Co<Errno> io(InodeId file, Bytes offset, Bytes length, bool is_write);
+  sim::Task rpc(OstIndex ost, ObjectId object, Bytes object_offset, Bytes bytes,
+                bool is_write, std::shared_ptr<IoState> state);
+  sim::Task drain_buffered(InodeId file, Bytes offset, Bytes length);
+
+  FileSystem* fs_;
+  sim::Engine* eng_;
+  std::string name_;
+  sim::BandwidthPipe proc_pipe_;
+  sim::BandwidthPipe* node_nic_;
+  sim::Resource rpc_slots_;
+  Bytes bytes_written_ = 0;
+  Bytes bytes_read_ = 0;
+
+  // Write-back state for write_buffered()/flush().
+  Bytes dirty_bytes_ = 0;
+  std::size_t outstanding_buffered_ = 0;
+  sim::Condition writeback_space_;
+  sim::Event writeback_idle_;
+  Errno async_err_ = Errno::ok;
+};
+
+}  // namespace pfsc::lustre

@@ -1,0 +1,20 @@
+#include "lustre/errors.hpp"
+
+namespace pfsc::lustre {
+
+const char* errno_name(Errno e) {
+  switch (e) {
+    case Errno::ok: return "OK";
+    case Errno::enoent: return "ENOENT";
+    case Errno::eexist: return "EEXIST";
+    case Errno::enospc: return "ENOSPC";
+    case Errno::eio: return "EIO";
+    case Errno::einval: return "EINVAL";
+    case Errno::enotdir: return "ENOTDIR";
+    case Errno::eisdir: return "EISDIR";
+    case Errno::ebadf: return "EBADF";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace pfsc::lustre

@@ -1,0 +1,45 @@
+// Simulated file-system error codes.
+//
+// Recoverable I/O failures travel as codes (like a real client sees errno)
+// so tests can exercise failure paths; API misuse still throws UsageError.
+#pragma once
+
+#include "support/error.hpp"
+
+namespace pfsc::lustre {
+
+enum class Errno {
+  ok = 0,
+  enoent,   // no such file or directory
+  eexist,   // file already exists
+  enospc,   // not enough healthy OSTs to satisfy the layout
+  eio,      // backing OST failed mid-operation
+  einval,   // invalid argument (bad layout request, bad offset)
+  enotdir,  // path component is not a directory
+  eisdir,   // directory where a file was expected
+  ebadf,    // stale/closed handle
+};
+
+const char* errno_name(Errno e);
+
+/// Value-or-error result for simulated syscalls.
+template <typename T>
+struct Result {
+  Errno err = Errno::ok;
+  T value{};
+
+  bool ok() const { return err == Errno::ok; }
+
+  /// Unwrap for tests/examples where failure is a bug.
+  T& expect(const char* what) {
+    if (!ok()) {
+      throw SimulationError(std::string(what) + ": " + errno_name(err));
+    }
+    return value;
+  }
+
+  static Result failure(Errno e) { return Result{e, T{}}; }
+  static Result success(T v) { return Result{Errno::ok, std::move(v)}; }
+};
+
+}  // namespace pfsc::lustre

@@ -1,0 +1,66 @@
+#include "lustre/extent_map.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace pfsc::lustre {
+
+void ExtentMap::insert(Bytes offset, Bytes length) {
+  if (length == 0) return;
+  Bytes start = offset;
+  Bytes end = offset + length;
+
+  // Find the first extent that could touch [start, end): the one before
+  // `start` (if it reaches start) or the first one starting within range.
+  auto it = extents_.upper_bound(start);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) it = prev;
+  }
+  while (it != extents_.end() && it->first <= end) {
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    total_ -= it->second - it->first;
+    it = extents_.erase(it);
+  }
+  extents_.emplace(start, end);
+  total_ += end - start;
+}
+
+bool ExtentMap::covers(Bytes offset, Bytes length) const {
+  if (length == 0) return true;
+  auto it = extents_.upper_bound(offset);
+  if (it == extents_.begin()) return false;
+  --it;
+  return it->first <= offset && it->second >= offset + length;
+}
+
+Bytes ExtentMap::covered_bytes(Bytes offset, Bytes length) const {
+  if (length == 0) return 0;
+  const Bytes end = offset + length;
+  Bytes covered = 0;
+  auto it = extents_.upper_bound(offset);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > offset) it = prev;
+  }
+  for (; it != extents_.end() && it->first < end; ++it) {
+    const Bytes lo = std::max(offset, it->first);
+    const Bytes hi = std::min(end, it->second);
+    if (hi > lo) covered += hi - lo;
+  }
+  return covered;
+}
+
+Bytes ExtentMap::end_offset() const {
+  if (extents_.empty()) return 0;
+  return extents_.rbegin()->second;
+}
+
+void ExtentMap::clear() {
+  extents_.clear();
+  total_ = 0;
+}
+
+}  // namespace pfsc::lustre

@@ -1,0 +1,159 @@
+// Simulated Lustre file system: metadata server, namespace, OST allocation,
+// and the server-side hardware (fabric, OSS pipes, OST disks).
+//
+// The MDS resolves paths, creates layouts and journals namespace changes;
+// metadata operations cost simulated time and are limited to
+// `mds_parallelism` concurrent services. Data movement happens in
+// lustre::Client, which uses the pipes and disks exposed here.
+//
+// OST assignment follows the paper's description of lscratchc: "targets
+// assigned at random (based on current usage, to maintain an approximately
+// even capacity)". AllocPolicy::uniform_random reproduces that (and the
+// binomial occupancy statistics of Eq. 1-6); round_robin exists as an
+// ablation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/disk.hpp"
+#include "hw/platform.hpp"
+#include "lustre/errors.hpp"
+#include "lustre/extent_map.hpp"
+#include "lustre/layout.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+#include "sim/task.hpp"
+#include "support/rng.hpp"
+
+namespace pfsc::lustre {
+
+using InodeId = std::uint64_t;
+inline constexpr InodeId kNoInode = 0;
+
+struct Inode {
+  InodeId id = kNoInode;
+  InodeId parent = kNoInode;
+  std::string name;
+  bool is_dir = false;
+
+  // -- files -----------------------------------------------------------
+  StripeLayout layout;
+  ExtentMap written;
+  Bytes size = 0;
+  std::uint32_t open_count = 0;
+
+  // -- directories -------------------------------------------------------
+  std::map<std::string, InodeId, std::less<>> entries;
+  StripeSettings dir_default;  // lfs setstripe on a directory
+  bool has_dir_default = false;
+};
+
+enum class AllocPolicy {
+  uniform_random,  // paper's lscratchc behaviour
+  round_robin,     // ablation: perfectly even assignment
+};
+
+class FileSystem {
+ public:
+  FileSystem(sim::Engine& eng, hw::PlatformParams params, std::uint64_t seed,
+             AllocPolicy policy = AllocPolicy::uniform_random);
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // -- metadata operations (cost simulated MDS time) --------------------
+  sim::Co<Result<InodeId>> create(std::string path, StripeSettings settings);
+  sim::Co<Result<InodeId>> open(std::string path);
+  sim::Co<Result<InodeId>> mkdir(std::string path);
+  sim::Co<Errno> unlink(std::string path);
+  sim::Co<Result<std::vector<std::string>>> readdir(std::string path);
+  /// lfs setstripe on a directory: default layout for files created inside.
+  sim::Co<Errno> set_dir_stripe(std::string path, StripeSettings settings);
+
+  // -- instantaneous inspection (tests, statistics; no simulated cost) --
+  Inode* find(std::string_view path);
+  const Inode* find(std::string_view path) const;
+  Inode& inode(InodeId id);
+  const Inode& inode(InodeId id) const;
+  bool exists(std::string_view path) const { return find(path) != nullptr; }
+  /// All file inodes under `dir_path` (recursive).
+  std::vector<InodeId> files_under(std::string_view dir_path) const;
+
+  // -- data-path plumbing used by lustre::Client -------------------------
+  hw::DiskModel& ost_disk(OstIndex ost);
+  sim::BandwidthPipe& oss_pipe_for_ost(OstIndex ost);
+  sim::BandwidthPipe& fabric() { return *fabric_; }
+  sim::BandwidthPipe& oss_pipe(std::uint32_t oss) {
+    PFSC_REQUIRE(oss < oss_pipes_.size(), "oss_pipe: bad index");
+    return *oss_pipes_[oss];
+  }
+  sim::Engine& engine() { return *eng_; }
+  const hw::PlatformParams& params() const { return params_; }
+
+  // -- OST pools (lfs pool_* semantics) ----------------------------------
+  /// Create an empty pool; EEXIST if it already exists.
+  Errno pool_new(const std::string& name);
+  /// Add OSTs to a pool; ENOENT if the pool does not exist.
+  Errno pool_add(const std::string& name, std::span<const OstIndex> osts);
+  /// Members of a pool; ENOENT if it does not exist.
+  Result<std::vector<OstIndex>> pool_members(const std::string& name) const;
+  std::vector<std::string> pool_names() const;
+
+  // -- health / failure injection ----------------------------------------
+  void fail_ost(OstIndex ost);
+  void restore_ost(OstIndex ost);
+  /// Degrade (or restore with factor 1.0) an OST's service rate; models a
+  /// RAID rebuild slowing the volume without taking it offline.
+  void degrade_ost(OstIndex ost, double factor);
+  bool ost_failed(OstIndex ost) const;
+  std::uint32_t healthy_ost_count() const;
+
+  // -- statistics ---------------------------------------------------------
+  /// Objects currently allocated on each OST.
+  std::vector<std::uint64_t> objects_per_ost() const { return objects_per_ost_; }
+  /// For the given files: how many of them have >= 1 object on each OST.
+  std::vector<std::uint32_t> ost_occupancy(std::span<const InodeId> files) const;
+  /// Histogram h[k] = number of OSTs used by exactly k of the given files.
+  std::vector<std::uint32_t> collision_histogram(std::span<const InodeId> files) const;
+  std::uint64_t files_created() const { return files_created_; }
+  Bytes total_bytes_written() const;
+
+ private:
+  sim::Co<void> mds_op(Seconds cost);
+  Result<InodeId> resolve(std::string_view path) const;
+  /// Resolve all but the last component; returns (parent inode, leaf name).
+  Result<std::pair<InodeId, std::string>> resolve_parent(std::string_view path) const;
+  Result<std::vector<OstIndex>> allocate_osts(const StripeSettings& settings);
+  StripeSettings effective_settings(const Inode& dir, StripeSettings req) const;
+  Inode& new_inode(bool is_dir, InodeId parent, std::string name);
+
+  sim::Engine* eng_;
+  hw::PlatformParams params_;
+  AllocPolicy policy_;
+  Rng rng_;
+
+  std::unique_ptr<sim::BandwidthPipe> fabric_;
+  std::vector<std::unique_ptr<sim::BandwidthPipe>> oss_pipes_;
+  std::vector<std::unique_ptr<hw::DiskModel>> ost_disks_;
+  std::vector<bool> ost_failed_;
+  std::vector<std::uint64_t> objects_per_ost_;
+
+  sim::Resource mds_slots_;
+  std::vector<std::unique_ptr<Inode>> inodes_;  // index = InodeId - 1
+  InodeId root_ = kNoInode;
+  ObjectId next_object_ = 1;
+  std::uint32_t next_rr_ost_ = 0;
+  std::uint64_t files_created_ = 0;
+  std::map<std::string, std::vector<OstIndex>, std::less<>> pools_;
+};
+
+/// Split "/a/b/c" into components; rejects empty components.
+std::vector<std::string_view> split_path(std::string_view path);
+
+}  // namespace pfsc::lustre

@@ -1,0 +1,50 @@
+// SimMPI runtime: places `nprocs` rank processes onto nodes, wires each
+// rank to a lustre::Client (sharing one node NIC pipe per node, as on Cab),
+// and provides MPI_COMM_WORLD. The caller supplies a rank-main coroutine;
+// `launch` spawns one per rank and `Engine::run()` executes the job.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lustre/client.hpp"
+#include "mpi/comm.hpp"
+
+namespace pfsc::mpi {
+
+class Runtime {
+ public:
+  Runtime(lustre::FileSystem& fs, int nprocs, int procs_per_node,
+          Seconds hop_latency = 2.0e-6);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int nprocs() const { return nprocs_; }
+  int node_count() const { return static_cast<int>(node_nics_.size()); }
+  int node_of(int rank) const { return rank / procs_per_node_; }
+  int procs_per_node() const { return procs_per_node_; }
+
+  Communicator& world() { return *world_; }
+  lustre::Client& client(int rank);
+  lustre::FileSystem& fs() { return *fs_; }
+  sim::Engine& engine() { return fs_->engine(); }
+
+  /// Spawn `main(rank)` for every rank. Call Engine::run() afterwards
+  /// (or use run_to_completion to do both).
+  void launch(const std::function<sim::Task(int)>& rank_main);
+
+  /// launch + Engine::run().
+  void run_to_completion(const std::function<sim::Task(int)>& rank_main);
+
+ private:
+  lustre::FileSystem* fs_;
+  int nprocs_;
+  int procs_per_node_;
+  std::vector<std::unique_ptr<sim::BandwidthPipe>> node_nics_;
+  std::vector<std::unique_ptr<lustre::Client>> clients_;
+  std::unique_ptr<Communicator> world_;
+};
+
+}  // namespace pfsc::mpi

@@ -1,0 +1,90 @@
+// ADIO: the abstract-device interface ROMIO uses to target different file
+// systems (Thakur et al., FRONTIERS'96). Three drivers are provided:
+//
+//  * ad_ufs    — the POSIX passthrough. Creates files with the file-system
+//                default layout and *ignores* striping hints: the untuned
+//                baseline of the paper (313 MB/s in Figure 1).
+//  * ad_lustre — applies striping_factor / striping_unit / start_iodevice
+//                at create time and aligns two-phase file domains to the
+//                stripe size.
+//  * ad_plfs   — routes all I/O through a PLFS container; collective
+//                writes become independent per-rank log appends (PLFS's
+//                N-to-N transformation), so two-phase is not used.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lustre/client.hpp"
+#include "mpiio/hints.hpp"
+#include "plfs/plfs.hpp"
+
+namespace pfsc::mpiio {
+
+using lustre::Errno;
+
+/// Shared state of one collectively-opened file.
+struct OpenContext {
+  std::string path;
+  Hints hints;
+  int nprocs = 0;
+  lustre::FileSystem* fs = nullptr;
+
+  // lustre-backed drivers:
+  lustre::InodeId ino = lustre::kNoInode;
+
+  // ad_plfs:
+  plfs::Plfs* plfs = nullptr;
+  std::map<int, plfs::WriteHandle> plfs_writers;  // by rank
+  plfs::ReadHandle plfs_reader;
+  bool plfs_reader_open = false;
+};
+
+class AdioDriver {
+ public:
+  virtual ~AdioDriver() = default;
+
+  /// True if collective I/O should use two-phase aggregation.
+  virtual bool two_phase_capable() const = 0;
+
+  /// Alignment for two-phase file domains (0 = use cb_buffer_size).
+  virtual Bytes domain_alignment(const OpenContext& ctx) const = 0;
+
+  /// Per-rank open. Rank 0 runs first (it creates); others follow.
+  virtual sim::Co<Errno> open_rank(lustre::Client& client, OpenContext& ctx,
+                                   int rank, bool create) = 0;
+
+  virtual sim::Co<Errno> write_independent(lustre::Client& client,
+                                           OpenContext& ctx, int rank,
+                                           Bytes offset, Bytes length) = 0;
+  virtual sim::Co<Errno> read_independent(lustre::Client& client,
+                                          OpenContext& ctx, int rank,
+                                          Bytes offset, Bytes length) = 0;
+
+  /// Aggregator-side round write: drain one collective-buffer round to the
+  /// file system. `extents` are the round's actual (offset, length) data
+  /// ranges, sorted and disjoint; with stripe-aligned file domains they map
+  /// to object-contiguous traffic on each OST.
+  virtual sim::Co<Errno> write_run(
+      lustre::Client& client, OpenContext& ctx,
+      const std::vector<std::pair<Bytes, Bytes>>& extents) = 0;
+
+  /// Aggregator-side round read (two-phase read, phase 1).
+  virtual sim::Co<Errno> read_run(
+      lustre::Client& client, OpenContext& ctx,
+      const std::vector<std::pair<Bytes, Bytes>>& extents) = 0;
+
+  virtual sim::Co<Errno> close_rank(lustre::Client& client, OpenContext& ctx,
+                                    int rank) = 0;
+
+  /// Current logical size of the file.
+  virtual Bytes size(const OpenContext& ctx) const = 0;
+};
+
+/// Instantiate the driver selected by `hints.driver`.
+std::unique_ptr<AdioDriver> make_driver(const Hints& hints);
+
+}  // namespace pfsc::mpiio

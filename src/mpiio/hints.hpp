@@ -1,0 +1,51 @@
+// MPI-IO hints and ADIO driver selection.
+//
+// Mirrors the ROMIO hints the paper tunes: striping_factor / striping_unit /
+// start_iodevice pass the Lustre layout through `ad_lustre` (and are
+// silently ignored by `ad_ufs`, which is exactly why untuned installations
+// leave 49x on the table); cb_* control two-phase collective buffering;
+// romio_ds_* control data sieving for independent I/O.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace pfsc::mpiio {
+
+enum class Driver {
+  ad_ufs,     // POSIX-compliant driver: file-system defaults, hints ignored
+  ad_lustre,  // Lustre-aware driver: honours striping hints
+  ad_plfs,    // PLFS virtual-file-system driver
+};
+
+const char* driver_name(Driver d);
+
+struct Hints {
+  Driver driver = Driver::ad_ufs;
+
+  // -- Lustre layout (ad_lustre only) ------------------------------------
+  std::uint32_t striping_factor = 0;  // stripe count; 0 = fs default
+  Bytes striping_unit = 0;            // stripe size; 0 = fs default
+  std::int32_t start_iodevice = -1;   // first OST index; -1 = allocator
+
+  // -- collective buffering ----------------------------------------------
+  bool romio_cb_write = true;
+  bool romio_cb_read = true;
+  std::uint32_t cb_nodes = 0;  // aggregator count; 0 = one per node
+  Bytes cb_buffer_size = 16_MiB;
+
+  // -- data sieving (independent I/O) -------------------------------------
+  bool romio_ds_read = true;
+  Bytes ind_rd_buffer_size = 4_MiB;
+
+  // -- client write-behind -------------------------------------------------
+  /// Dirty-data budget per aggregator: a collective write returns once its
+  /// round is shuffled into the collective buffer, and up to this many
+  /// bytes of drained rounds may still be in flight to the servers (the
+  /// Lustre client page cache / max_dirty_mb behaviour). Flushed by close
+  /// and before any read. 0 disables write-behind (fully synchronous).
+  Bytes dirty_window = 256_MiB;
+};
+
+}  // namespace pfsc::mpiio

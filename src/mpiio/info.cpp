@@ -1,0 +1,122 @@
+#include "mpiio/info.hpp"
+
+#include <charconv>
+
+#include "support/error.hpp"
+
+namespace pfsc::mpiio {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+bool parse_bool(std::string_view key, std::string_view value) {
+  if (value == "enable" || value == "true" || value == "1") return true;
+  if (value == "disable" || value == "false" || value == "0") return false;
+  throw UsageError("parse_hints: bad boolean for " + std::string(key) + ": " +
+                   std::string(value));
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw UsageError("parse_hints: bad number for " + std::string(key) + ": " +
+                     std::string(value));
+  }
+  return out;
+}
+
+}  // namespace
+
+ParsedHints parse_hints(std::string_view text, Hints base) {
+  ParsedHints out;
+  out.hints = base;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find_first_of(";,", pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view pair = trim(text.substr(pos, end - pos));
+    pos = end + 1;
+    if (pair.empty()) continue;
+
+    const std::size_t eq = pair.find('=');
+    PFSC_REQUIRE(eq != std::string_view::npos,
+                 "parse_hints: expected key=value, got '" + std::string(pair) + "'");
+    const std::string_view key = trim(pair.substr(0, eq));
+    const std::string_view value = trim(pair.substr(eq + 1));
+
+    if (key == "filesystem" || key == "driver") {
+      if (value == "ufs" || value == "ad_ufs") {
+        out.hints.driver = Driver::ad_ufs;
+      } else if (value == "lustre" || value == "ad_lustre") {
+        out.hints.driver = Driver::ad_lustre;
+      } else if (value == "plfs" || value == "ad_plfs") {
+        out.hints.driver = Driver::ad_plfs;
+      } else {
+        throw UsageError("parse_hints: unknown driver " + std::string(value));
+      }
+    } else if (key == "striping_factor") {
+      out.hints.striping_factor = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "striping_unit") {
+      out.hints.striping_unit = parse_u64(key, value);
+    } else if (key == "start_iodevice") {
+      if (!value.empty() && value.front() == '-') {
+        out.hints.start_iodevice = -1;
+      } else {
+        out.hints.start_iodevice = static_cast<std::int32_t>(parse_u64(key, value));
+      }
+    } else if (key == "romio_cb_write") {
+      out.hints.romio_cb_write = parse_bool(key, value);
+    } else if (key == "romio_cb_read") {
+      out.hints.romio_cb_read = parse_bool(key, value);
+    } else if (key == "cb_nodes") {
+      out.hints.cb_nodes = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "cb_buffer_size") {
+      out.hints.cb_buffer_size = parse_u64(key, value);
+    } else if (key == "romio_ds_read") {
+      out.hints.romio_ds_read = parse_bool(key, value);
+    } else if (key == "ind_rd_buffer_size") {
+      out.hints.ind_rd_buffer_size = parse_u64(key, value);
+    } else if (key == "dirty_window") {
+      out.hints.dirty_window = parse_u64(key, value);
+    } else {
+      out.unknown_keys.emplace_back(key);
+    }
+  }
+  return out;
+}
+
+std::string format_hints(const Hints& h) {
+  std::string out;
+  out += "driver=";
+  out += driver_name(h.driver);
+  auto add_num = [&out](const char* key, std::uint64_t v) {
+    out += ";";
+    out += key;
+    out += "=";
+    out += std::to_string(v);
+  };
+  auto add_bool = [&out](const char* key, bool v) {
+    out += ";";
+    out += key;
+    out += v ? "=enable" : "=disable";
+  };
+  add_num("striping_factor", h.striping_factor);
+  add_num("striping_unit", h.striping_unit);
+  out += ";start_iodevice=" + std::to_string(h.start_iodevice);
+  add_bool("romio_cb_write", h.romio_cb_write);
+  add_bool("romio_cb_read", h.romio_cb_read);
+  add_num("cb_nodes", h.cb_nodes);
+  add_num("cb_buffer_size", h.cb_buffer_size);
+  add_bool("romio_ds_read", h.romio_ds_read);
+  add_num("ind_rd_buffer_size", h.ind_rd_buffer_size);
+  add_num("dirty_window", h.dirty_window);
+  return out;
+}
+
+}  // namespace pfsc::mpiio

@@ -1,0 +1,35 @@
+// MPI_Info-style textual hints.
+//
+// Real applications pass ROMIO hints as key/value strings
+// ("striping_factor" = "160"); this module parses that form into Hints so
+// configurations can travel through job scripts and config files, exactly
+// the workflow the paper argues users neglect.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpiio/hints.hpp"
+
+namespace pfsc::mpiio {
+
+struct ParsedHints {
+  Hints hints;
+  /// Keys that were not recognised (real MPI ignores unknown hints, but
+  /// callers may want to warn).
+  std::vector<std::string> unknown_keys;
+};
+
+/// Parse "key=value" pairs separated by ';' or ',' (whitespace tolerated),
+/// e.g. "romio_cb_write=enable; striping_factor=160; striping_unit=134217728".
+/// Booleans accept enable/disable/true/false/1/0. Sizes are plain bytes.
+/// Throws UsageError on malformed input (missing '=', non-numeric value for
+/// a numeric key).
+ParsedHints parse_hints(std::string_view text, Hints base = {});
+
+/// Serialise hints back to the textual form (round-trips through
+/// parse_hints).
+std::string format_hints(const Hints& hints);
+
+}  // namespace pfsc::mpiio

@@ -1,0 +1,68 @@
+// Two-phase collective I/O planning (pure functions, no simulation state).
+//
+// ROMIO's generic collective algorithm: the union extent of all ranks'
+// requests is divided into contiguous *file domains*, one per aggregator
+// (aligned to the Lustre stripe size when the driver knows it), and each
+// aggregator drains its domain in rounds of at most cb_buffer_size bytes,
+// shuffling the round's data from the owning ranks before writing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace pfsc::mpiio {
+
+struct IoRequest {
+  int rank = 0;
+  Bytes offset = 0;
+  Bytes length = 0;
+};
+
+/// One aggregator round: up to cb_buffer_size bytes of *present* data.
+struct Round {
+  Bytes begin = 0;  // file offset where this round's data starts
+  Bytes end = 0;    // file offset one past this round's data
+  Bytes present_bytes = 0;
+  /// The actual (offset, length) data extents of this round, merged and
+  /// sorted; what really gets marked written.
+  std::vector<std::pair<Bytes, Bytes>> extents;
+};
+
+struct AggregatorPlan {
+  int agg_rank = -1;
+  Bytes domain_begin = 0;
+  Bytes domain_end = 0;
+  std::vector<Round> rounds;
+};
+
+/// Merge raw requests into sorted disjoint (offset, length) extents.
+std::vector<std::pair<Bytes, Bytes>> merge_extents(
+    std::span<const IoRequest> requests);
+
+/// Pick aggregator ranks: the first rank of each node (nodes identified by
+/// opaque keys, one entry per rank), thinned evenly to at most cb_nodes.
+std::vector<int> choose_aggregators(std::span<const void* const> node_key_of_rank,
+                                    std::uint32_t cb_nodes);
+
+/// Build the per-aggregator file domains and rounds.
+///
+/// `alignment` aligns domain boundaries (stripe size for ad_lustre so a
+/// stripe is written by a single aggregator; cb_buffer for ad_ufs).
+/// Aggregators with empty domains are omitted from the result.
+std::vector<AggregatorPlan> plan_two_phase(std::span<const IoRequest> requests,
+                                           std::span<const int> aggregators,
+                                           Bytes cb_buffer, Bytes alignment);
+
+/// ad_lustre's group-cyclic file domains: stripe k belongs to aggregator
+/// k mod naggs, so every OST's object receives traffic from a single
+/// aggregator at a time and all aggregators stay busy regardless of the
+/// stripe size. Rounds are still bounded by cb_buffer present bytes.
+std::vector<AggregatorPlan> plan_two_phase_cyclic(
+    std::span<const IoRequest> requests, std::span<const int> aggregators,
+    Bytes cb_buffer, Bytes stripe_size);
+
+}  // namespace pfsc::mpiio

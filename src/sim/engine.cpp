@@ -1,0 +1,76 @@
+#include "sim/engine.hpp"
+
+#include "sim/task.hpp"
+
+namespace pfsc::sim {
+
+Engine::~Engine() {
+  // Destroy unfinished root frames. Outstanding Task handles to these frames
+  // must already have been dropped (documented engine-outlives-tasks rule).
+  for (auto h : live_roots_) {
+    if (h) h.destroy();
+  }
+}
+
+void Engine::schedule(std::coroutine_handle<> h, Seconds t) {
+  PFSC_ASSERT(h && !h.done());
+  PFSC_ASSERT(t >= now_);
+  queue_.push(Item{t, seq_++, h});
+}
+
+void Engine::spawn(Task task) {
+  PFSC_REQUIRE(task.valid(), "Engine::spawn: invalid task");
+  auto h = task.handle();
+  PFSC_REQUIRE(!h.promise().spawned(), "Engine::spawn: task already spawned");
+  h.promise().bind(*this, live_roots_.size());
+  live_roots_.push_back(h);
+  schedule(h, now_);
+}
+
+void Engine::note_root_done(std::size_t live_index) {
+  PFSC_ASSERT(live_index < live_roots_.size());
+  // Swap-remove; re-index the promise that moved into the vacated slot.
+  const std::size_t last = live_roots_.size() - 1;
+  if (live_index != last) {
+    live_roots_[live_index] = live_roots_[last];
+    auto moved = std::coroutine_handle<TaskPromise>::from_address(
+        live_roots_[live_index].address());
+    moved.promise().set_live_index(live_index);
+  }
+  live_roots_.pop_back();
+}
+
+void Engine::dispatch_one() {
+  const Item item = queue_.top();
+  queue_.pop();
+  PFSC_ASSERT(item.t >= now_);
+  now_ = item.t;
+  ++executed_;
+  item.h.resume();
+}
+
+void Engine::rethrow_pending() {
+  if (pending_exception_) {
+    auto e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    dispatch_one();
+    rethrow_pending();
+  }
+}
+
+bool Engine::run_until(Seconds t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    dispatch_one();
+    rethrow_pending();
+  }
+  if (queue_.empty()) return true;
+  now_ = t;
+  return false;
+}
+
+}  // namespace pfsc::sim

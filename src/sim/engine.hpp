@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events scheduled for the same timestamp
+// run in schedule order. Processes are C++20 coroutines; see task.hpp for
+// the two coroutine types (`Task` roots and `Co<T>` children) and
+// resources.hpp for the synchronisation primitives built on this engine.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace pfsc::sim {
+
+class Task;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time in seconds.
+  Seconds now() const { return now_; }
+
+  /// Number of events executed so far (for microbenchmarks/diagnostics).
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Resume `h` at absolute simulated time `t` (must be >= now()).
+  void schedule(std::coroutine_handle<> h, Seconds t);
+
+  /// Resume `h` after `dt` seconds.
+  void schedule_after(std::coroutine_handle<> h, Seconds dt) {
+    schedule(h, now_ + dt);
+  }
+
+  /// Start a root coroutine; it begins running at the current time.
+  /// The engine keeps unfinished roots alive and destroys them at teardown.
+  void spawn(Task task);
+
+  /// Run until no events remain. Throws if a root task failed with an
+  /// exception that no joiner consumed.
+  void run();
+
+  /// Run until simulated time reaches `t` (or the queue drains).
+  /// Returns true if the queue drained.
+  bool run_until(Seconds t);
+
+  /// Awaitable: suspend the current coroutine for `dt` simulated seconds.
+  auto delay(Seconds dt) {
+    struct Awaiter {
+      Engine& eng;
+      Seconds dt;
+      bool await_ready() const noexcept { return dt <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) { eng.schedule_after(h, dt); }
+      void await_resume() const noexcept {}
+    };
+    PFSC_ASSERT(dt >= 0.0);
+    return Awaiter{*this, dt};
+  }
+
+  // -- internal, used by Task machinery --------------------------------
+  void note_root_done(std::size_t live_index);
+  void note_unhandled(std::exception_ptr e) {
+    if (!pending_exception_) pending_exception_ = e;
+  }
+
+ private:
+  struct Item {
+    Seconds t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Item& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  void dispatch_one();
+  void rethrow_pending();
+
+  Seconds now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<>> live_roots_;  // unfinished root frames
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace pfsc::sim

@@ -1,0 +1,221 @@
+// Synchronisation primitives for simulation processes.
+//
+//  * Event          — one-shot (resettable) broadcast signal.
+//  * Resource       — counting semaphore with FIFO hand-off.
+//  * Barrier        — reusable N-party barrier (generation-counted).
+//  * BandwidthPipe  — FIFO store-and-forward bandwidth server; the basic
+//                     building block of the network model. A transfer holds
+//                     the pipe for bytes/rate seconds, so concurrent flows
+//                     share capacity in arrival order, which at the
+//                     throughput timescales of these experiments behaves
+//                     like fair sharing while costing O(log n) per event.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "support/units.hpp"
+
+namespace pfsc::sim {
+
+class Event {
+ public:
+  explicit Event(Engine& eng) : eng_(&eng) {}
+
+  bool fired() const { return fired_; }
+
+  /// Fire the event, waking all current waiters at the current time.
+  void trigger() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) eng_->schedule(h, eng_->now());
+    waiters_.clear();
+  }
+
+  /// Re-arm a fired event (no waiters may be pending).
+  void reset() {
+    PFSC_ASSERT(waiters_.empty());
+    fired_ = false;
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event& evt;
+      bool await_ready() const noexcept { return evt.fired_; }
+      void await_suspend(std::coroutine_handle<> h) { evt.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* eng_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Condition-variable-like signal: wait() always suspends until the next
+/// notify_all(). Unlike Event there is no latched state, so it suits
+/// "re-check a predicate in a loop" patterns with many concurrent waiters.
+class Condition {
+ public:
+  explicit Condition(Engine& eng) : eng_(&eng) {}
+
+  auto wait() {
+    struct Awaiter {
+      Condition& cond;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { cond.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void notify_all() {
+    for (auto h : waiters_) eng_->schedule(h, eng_->now());
+    waiters_.clear();
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine* eng_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore. release() hands the token directly to the oldest
+/// waiter, so admission is strictly FIFO (no barging).
+class Resource {
+ public:
+  Resource(Engine& eng, std::size_t capacity)
+      : eng_(&eng), capacity_(capacity), available_(capacity) {
+    PFSC_REQUIRE(capacity > 0, "Resource: capacity must be positive");
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t available() const { return available_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  auto acquire() {
+    struct Awaiter {
+      Resource& res;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (res.available_ > 0) {
+          --res.available_;
+          return false;  // token taken; continue immediately
+        }
+        res.waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      eng_->schedule(h, eng_->now());  // token passes directly to the waiter
+    } else {
+      PFSC_ASSERT(available_ < capacity_);
+      ++available_;
+    }
+  }
+
+ private:
+  Engine* eng_;
+  std::size_t capacity_;
+  std::size_t available_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable barrier for `parties` processes.
+class Barrier {
+ public:
+  Barrier(Engine& eng, std::size_t parties)
+      : eng_(&eng), parties_(parties) {
+    PFSC_REQUIRE(parties > 0, "Barrier: parties must be positive");
+  }
+
+  auto arrive() {
+    struct Awaiter {
+      Barrier& bar;
+      bool await_ready() const noexcept { return bar.parties_ == 1; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (bar.arrived_ + 1 == bar.parties_) {
+          bar.arrived_ = 0;
+          ++bar.generation_;
+          for (auto w : bar.waiters_) bar.eng_->schedule(w, bar.eng_->now());
+          bar.waiters_.clear();
+          return false;  // last arriver passes straight through
+        }
+        ++bar.arrived_;
+        bar.waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  Engine* eng_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO bandwidth server; see file header. `channels` > 1 models a link
+/// that can serve that many transfers at full rate each (used sparingly).
+class BandwidthPipe {
+ public:
+  BandwidthPipe(Engine& eng, BytesPerSecond rate, Seconds per_message_latency = 0.0,
+                std::size_t channels = 1)
+      : eng_(&eng),
+        slots_(eng, channels),
+        rate_(rate),
+        latency_(per_message_latency) {
+    PFSC_REQUIRE(rate > 0.0, "BandwidthPipe: rate must be positive");
+  }
+
+  /// Move `bytes` through the pipe; completes after queueing + service.
+  Co<void> transfer(Bytes bytes) {
+    co_await slots_.acquire();
+    const Seconds service = latency_ + static_cast<double>(bytes) / rate_;
+    busy_time_ += service;
+    bytes_moved_ += bytes;
+    ++transfers_;
+    co_await eng_->delay(service);
+    slots_.release();
+  }
+
+  BytesPerSecond rate() const { return rate_; }
+  Bytes bytes_moved() const { return bytes_moved_; }
+  std::uint64_t transfers() const { return transfers_; }
+  /// Fraction of [0, now] this pipe spent serving (per channel).
+  double utilisation() const {
+    const Seconds t = eng_->now();
+    if (t <= 0.0) return 0.0;
+    return busy_time_ / (t * static_cast<double>(slots_.capacity()));
+  }
+
+ private:
+  Engine* eng_;
+  Resource slots_;
+  BytesPerSecond rate_;
+  Seconds latency_;
+  Seconds busy_time_ = 0.0;
+  Bytes bytes_moved_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace pfsc::sim

@@ -1,0 +1,43 @@
+// Error handling for the simulator libraries.
+//
+// Programming errors (broken invariants) abort via PFSC_ASSERT; recoverable
+// file-system errors travel as error codes (see lustre/errors.hpp) so that
+// callers can exercise failure paths the way a real client would.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pfsc {
+
+/// Thrown for unrecoverable misuse of a library API (bad configuration,
+/// out-of-range arguments). Distinct from simulated I/O errors.
+class UsageError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a simulation reaches an impossible state (engine bug).
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "PFSC_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace pfsc
+
+#define PFSC_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::pfsc::assert_fail(#expr, __FILE__, __LINE__))
+
+#define PFSC_REQUIRE(expr, msg)          \
+  do {                                   \
+    if (!(expr)) {                       \
+      throw ::pfsc::UsageError((msg));   \
+    }                                    \
+  } while (false)

@@ -1,0 +1,25 @@
+#include "support/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace pfsc {
+
+std::string format_bytes(Bytes b) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(b);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[48];
+  if (v == static_cast<double>(static_cast<std::uint64_t>(v))) {
+    std::snprintf(buf, sizeof buf, "%llu %s", static_cast<unsigned long long>(v), kSuffix[i]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+}  // namespace pfsc

@@ -1,0 +1,40 @@
+// Basic quantity types shared across the simulator.
+//
+// The paper reports bandwidth in MB/s (decimal megabytes, as IOR does) but
+// configures stripe/transfer sizes in binary units (1 MB stripe == 1 MiB).
+// We keep bytes as the canonical unit and convert only at the edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pfsc {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Simulated time in seconds.
+using Seconds = double;
+
+/// Bandwidth in bytes per second.
+using BytesPerSecond = double;
+
+inline constexpr BytesPerSecond mb_per_sec(double mb) { return mb * 1.0e6; }
+
+/// Convert a measured rate to the MB/s figure IOR would report
+/// (decimal megabytes, matching the paper's tables).
+inline constexpr double to_mbps(BytesPerSecond bps) { return bps / 1.0e6; }
+
+/// Bandwidth achieved moving `bytes` in `elapsed` seconds, in MB/s.
+inline double bandwidth_mbps(Bytes bytes, Seconds elapsed) {
+  if (elapsed <= 0.0) return 0.0;
+  return to_mbps(static_cast<double>(bytes) / elapsed);
+}
+
+/// Human-readable byte size, e.g. "128 MiB".
+std::string format_bytes(Bytes b);
+
+}  // namespace pfsc

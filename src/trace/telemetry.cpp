@@ -1,0 +1,91 @@
+#include "trace/telemetry.hpp"
+
+#include <sstream>
+
+namespace pfsc::trace {
+
+Sampler::Sampler(sim::Engine& eng, Seconds interval, std::size_t max_ticks)
+    : eng_(&eng), interval_(interval), max_ticks_(max_ticks) {
+  PFSC_REQUIRE(interval > 0.0, "Sampler: interval must be positive");
+  PFSC_REQUIRE(max_ticks > 0, "Sampler: max_ticks must be positive");
+}
+
+std::size_t Sampler::add_probe(std::string name, Probe probe) {
+  PFSC_REQUIRE(!started_, "Sampler: register probes before start()");
+  PFSC_REQUIRE(probe != nullptr, "Sampler: null probe");
+  probes_.push_back(std::move(probe));
+  Series s;
+  s.name = std::move(name);
+  series_.push_back(std::move(s));
+  return series_.size() - 1;
+}
+
+std::size_t Sampler::add_total_bytes_probe(lustre::FileSystem& fs) {
+  return add_probe("total_bytes", [&fs] {
+    return static_cast<double>(fs.total_bytes_written());
+  });
+}
+
+std::size_t Sampler::add_ost_busy_probe(lustre::FileSystem& fs,
+                                        lustre::OstIndex ost) {
+  return add_probe("ost" + std::to_string(ost) + "_busy",
+                   [&fs, ost] { return fs.ost_disk(ost).busy_time(); });
+}
+
+std::size_t Sampler::add_ost_queue_probe(lustre::FileSystem& fs,
+                                         lustre::OstIndex ost) {
+  return add_probe("ost" + std::to_string(ost) + "_queue", [&fs, ost] {
+    return static_cast<double>(fs.ost_disk(ost).queue_depth());
+  });
+}
+
+void Sampler::start() {
+  PFSC_REQUIRE(!started_, "Sampler: already started");
+  started_ = true;
+  eng_->spawn(run());
+}
+
+sim::Task Sampler::run() {
+  for (std::size_t tick = 0; tick < max_ticks_ && !stopped_; ++tick) {
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      series_[i].at.push_back(eng_->now());
+      series_[i].value.push_back(probes_[i]());
+    }
+    if (active_ && !active_()) break;
+    co_await eng_->delay(interval_);
+  }
+}
+
+const Series& Sampler::series(std::size_t idx) const {
+  PFSC_REQUIRE(idx < series_.size(), "Sampler: bad series index");
+  return series_[idx];
+}
+
+Series Sampler::bandwidth_timeline(const Series& cumulative_bytes) {
+  Series out;
+  out.name = cumulative_bytes.name + "_mbps";
+  for (std::size_t i = 1; i < cumulative_bytes.size(); ++i) {
+    const Seconds dt = cumulative_bytes.at[i] - cumulative_bytes.at[i - 1];
+    if (dt <= 0.0) continue;
+    const double db = cumulative_bytes.value[i] - cumulative_bytes.value[i - 1];
+    out.at.push_back(cumulative_bytes.at[i]);
+    out.value.push_back(to_mbps(db / dt));
+  }
+  return out;
+}
+
+std::string Sampler::to_csv() const {
+  std::ostringstream out;
+  out << "time";
+  for (const auto& s : series_) out << ',' << s.name;
+  out << '\n';
+  const std::size_t ticks = series_.empty() ? 0 : series_.front().size();
+  for (std::size_t t = 0; t < ticks; ++t) {
+    out << series_.front().at[t];
+    for (const auto& s : series_) out << ',' << s.value[t];
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pfsc::trace

@@ -1,0 +1,88 @@
+// Telemetry: periodic sampling of simulated-system counters into time
+// series, for bandwidth timelines and per-device utilisation breakdowns.
+//
+// A Sampler is a simulation process that wakes every `interval` seconds and
+// snapshots a set of registered probes (fabric bytes, per-OST bytes and
+// busy time, client counters, ...). Series are exportable as CSV for
+// offline plotting; `bandwidth_timeline` post-processes cumulative byte
+// counters into per-interval MB/s.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lustre/fs.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "support/units.hpp"
+
+namespace pfsc::trace {
+
+/// One sampled series: a name plus (time, value) points.
+struct Series {
+  std::string name;
+  std::vector<Seconds> at;
+  std::vector<double> value;
+
+  std::size_t size() const { return at.size(); }
+};
+
+class Sampler {
+ public:
+  /// Probes are called at every tick; they must be cheap and side-effect
+  /// free. Register them before starting the sampler.
+  using Probe = std::function<double()>;
+
+  /// `max_ticks` bounds the sampler's lifetime (required for experiments
+  /// that finish by draining the event queue: an unbounded periodic
+  /// process would keep the engine alive forever). Alternatively set a
+  /// watch predicate; sampling stops when it returns false.
+  Sampler(sim::Engine& eng, Seconds interval, std::size_t max_ticks = 100000);
+
+  /// Keep sampling only while `active()` is true (checked after each tick).
+  void watch(std::function<bool()> active) { active_ = std::move(active); }
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Register a probe; returns its series index.
+  std::size_t add_probe(std::string name, Probe probe);
+
+  // -- convenience probe packs -----------------------------------------
+  /// Cumulative bytes written to all OSTs of `fs`.
+  std::size_t add_total_bytes_probe(lustre::FileSystem& fs);
+  /// Cumulative busy seconds of one OST.
+  std::size_t add_ost_busy_probe(lustre::FileSystem& fs, lustre::OstIndex ost);
+  /// Instantaneous queue depth of one OST.
+  std::size_t add_ost_queue_probe(lustre::FileSystem& fs, lustre::OstIndex ost);
+
+  /// Start sampling (spawns the sampler process). Sampling ends when the
+  /// engine drains or `stop()` is called.
+  void start();
+  void stop() { stopped_ = true; }
+
+  const std::vector<Series>& series() const { return series_; }
+  const Series& series(std::size_t idx) const;
+
+  /// Differentiate a cumulative byte series into MB/s per interval.
+  static Series bandwidth_timeline(const Series& cumulative_bytes);
+
+  /// CSV with a time column plus one column per series (missing points
+  /// are not possible: all series share the tick).
+  std::string to_csv() const;
+
+ private:
+  sim::Task run();
+
+  sim::Engine* eng_;
+  Seconds interval_;
+  std::size_t max_ticks_;
+  std::function<bool()> active_;
+  std::vector<Probe> probes_;
+  std::vector<Series> series_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace pfsc::trace

@@ -1,0 +1,140 @@
+// Tests for the checkpoint/restart application model and the optimal
+// interval formulae.
+#include <gtest/gtest.h>
+
+#include "apps/checkpoint.hpp"
+#include "hw/platform.hpp"
+
+namespace pfsc::apps {
+namespace {
+
+TEST(Interval, YoungFormula) {
+  // C = 50 s, M = 10000 s -> sqrt(2*50*10000) = 1000 s.
+  EXPECT_NEAR(young_interval(50.0, 10000.0), 1000.0, 1e-9);
+  EXPECT_THROW(young_interval(0.0, 100.0), UsageError);
+}
+
+TEST(Interval, DalyCloseToYoungForSmallC) {
+  const double young = young_interval(10.0, 100000.0);
+  const double daly = daly_interval(10.0, 100000.0);
+  EXPECT_NEAR(daly, young, young * 0.02);
+  // For large C, Daly clamps to MTBF.
+  EXPECT_DOUBLE_EQ(daly_interval(500.0, 100.0), 100.0);
+}
+
+TEST(Interval, PredictedEfficiencyShape) {
+  const Seconds C = 60.0;
+  const Seconds M = 3600.0 * 24;
+  const Seconds R = 120.0;
+  // Efficiency is maximised near the Young interval.
+  const double at_opt = predicted_efficiency(young_interval(C, M), C, M, R);
+  const double too_short = predicted_efficiency(young_interval(C, M) / 16, C, M, R);
+  const double too_long = predicted_efficiency(young_interval(C, M) * 16, C, M, R);
+  EXPECT_GT(at_opt, too_short);
+  EXPECT_GT(at_opt, too_long);
+  EXPECT_GT(at_opt, 0.9);
+  // No failures: overhead is just the checkpoint cost.
+  EXPECT_NEAR(predicted_efficiency(600.0, 60.0, 0.0, 0.0), 600.0 / 660.0, 1e-9);
+}
+
+struct CkptFixture : ::testing::Test {
+  CheckpointSpec small_spec() {
+    CheckpointSpec spec;
+    spec.nprocs = 8;
+    spec.procs_per_node = 4;
+    spec.bytes_per_rank = 4_MiB;
+    spec.work_total = 100.0;
+    spec.interval = 25.0;
+    spec.relaunch_delay = 5.0;
+    spec.hints.driver = mpiio::Driver::ad_lustre;
+    spec.hints.striping_factor = 4;
+    spec.hints.striping_unit = 1_MiB;
+    return spec;
+  }
+};
+
+TEST_F(CkptFixture, FailureFreeRunCompletesAllWork) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 1);
+  const auto out = run_checkpoint_app(fs, small_spec(), 1);
+  EXPECT_DOUBLE_EQ(out.work_done, 100.0);
+  EXPECT_EQ(out.failures, 0u);
+  EXPECT_EQ(out.checkpoints_written, 4u);  // 100 / 25
+  EXPECT_EQ(out.checkpoints_wasted, 0u);
+  EXPECT_GT(out.mean_checkpoint_seconds, 0.0);
+  // Makespan = work + checkpoint I/O.
+  EXPECT_GT(out.makespan, 100.0);
+  EXPECT_GT(out.efficiency, 0.5);
+  EXPECT_LT(out.efficiency, 1.0);
+  // The durable checkpoints exist on the file system.
+  EXPECT_NE(fs.find("/ckpt/ckpt.3"), nullptr);
+}
+
+TEST_F(CkptFixture, FailuresForceReworkAndRestarts) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 2);
+  CheckpointSpec spec = small_spec();
+  spec.mtbf = 40.0;  // aggressive: expect several failures in ~100+s
+  const auto out = run_checkpoint_app(fs, spec, 7);
+  EXPECT_DOUBLE_EQ(out.work_done, 100.0);  // still completes
+  EXPECT_GT(out.failures, 0u);
+  EXPECT_GT(out.work_lost, 0.0);
+  EXPECT_GT(out.makespan, 100.0 + out.work_lost);
+  EXPECT_LT(out.efficiency, 0.9);
+}
+
+TEST_F(CkptFixture, EfficiencyDropsWithShorterMtbf) {
+  auto eff = [&](Seconds mtbf, std::uint64_t seed) {
+    sim::Engine eng;
+    lustre::FileSystem fs(eng, hw::tiny_test_platform(), 3);
+    CheckpointSpec spec = small_spec();
+    spec.work_total = 200.0;
+    spec.mtbf = mtbf;
+    return run_checkpoint_app(fs, spec, seed).efficiency;
+  };
+  // Average over a few seeds to smooth the exponential draws.
+  double healthy = 0.0;
+  double flaky = 0.0;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    healthy += eff(100000.0, s);
+    flaky += eff(60.0, s);
+  }
+  EXPECT_GT(healthy, flaky);
+}
+
+TEST_F(CkptFixture, SlowerIoLowersEfficiency) {
+  auto eff = [&](std::uint32_t stripes) {
+    sim::Engine eng;
+    lustre::FileSystem fs(eng, hw::tiny_test_platform(), 4);
+    CheckpointSpec spec = small_spec();
+    spec.bytes_per_rank = 16_MiB;
+    spec.hints.striping_factor = stripes;
+    return run_checkpoint_app(fs, spec, 11).efficiency;
+  };
+  // The paper's argument in one assertion: wider striping -> faster
+  // checkpoints -> better application efficiency.
+  EXPECT_GT(eff(8), eff(1));
+}
+
+TEST_F(CkptFixture, WorksWithPlfs) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 5);
+  plfs::Plfs plfs(fs);
+  CheckpointSpec spec = small_spec();
+  spec.hints.driver = mpiio::Driver::ad_plfs;
+  const auto out = run_checkpoint_app(fs, spec, 13, &plfs);
+  EXPECT_DOUBLE_EQ(out.work_done, 100.0);
+  EXPECT_EQ(out.checkpoints_written, 4u);
+  EXPECT_TRUE(plfs.is_container("/ckpt/ckpt.0"));
+}
+
+TEST_F(CkptFixture, RejectsBadSpec) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 6);
+  CheckpointSpec spec = small_spec();
+  spec.work_total = 0.0;
+  EXPECT_THROW(run_checkpoint_app(fs, spec, 1), UsageError);
+}
+
+}  // namespace
+}  // namespace pfsc::apps

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "lustre/client.hpp"
+
+namespace pfsc::lustre {
+namespace {
+
+struct ClientFixture : ::testing::Test {
+  sim::Engine eng;
+  hw::PlatformParams params = hw::tiny_test_platform();
+  FileSystem fs{eng, hw::tiny_test_platform(), 7};
+  Client client{fs, "c0"};
+
+  template <typename T>
+  T run(sim::Co<T> op) {
+    T out{};
+    eng.spawn([](sim::Co<T> op, T& out) -> sim::Task {
+      out = co_await std::move(op);
+    }(std::move(op), out));
+    eng.run();
+    return out;
+  }
+
+  InodeId make_file(const std::string& path, StripeSettings s = {}) {
+    auto r = run(client.create(path, s));
+    PFSC_ASSERT(r.ok());
+    return r.value;
+  }
+};
+
+TEST_F(ClientFixture, WriteRecordsExtentAndSize) {
+  const InodeId f = make_file("/f");
+  EXPECT_EQ(run(client.write(f, 0, 1_MiB)), Errno::ok);
+  const Inode& node = fs.inode(f);
+  EXPECT_EQ(node.size, 1_MiB);
+  EXPECT_TRUE(node.written.covers(0, 1_MiB));
+  EXPECT_EQ(client.bytes_written(), 1_MiB);
+}
+
+TEST_F(ClientFixture, WriteTakesSimulatedTime) {
+  const InodeId f = make_file("/f");
+  const Seconds t0 = eng.now();
+  EXPECT_EQ(run(client.write(f, 0, 16_MiB)), Errno::ok);
+  const Seconds elapsed = eng.now() - t0;
+  EXPECT_GT(elapsed, 0.0);
+  // Sanity: a single process can't beat its own pipe.
+  const double mbps = bandwidth_mbps(16_MiB, elapsed);
+  EXPECT_LT(mbps, to_mbps(params.per_process_bw) + 1.0);
+}
+
+TEST_F(ClientFixture, SparseWriteLeavesHole) {
+  const InodeId f = make_file("/f");
+  EXPECT_EQ(run(client.write(f, 0, 1_MiB)), Errno::ok);
+  EXPECT_EQ(run(client.write(f, 3_MiB, 1_MiB)), Errno::ok);
+  const Inode& node = fs.inode(f);
+  EXPECT_EQ(node.size, 4_MiB);
+  EXPECT_FALSE(node.written.covers(0, 4_MiB));
+  EXPECT_EQ(node.written.total_bytes(), 2_MiB);
+}
+
+TEST_F(ClientFixture, ReadWithinFileSucceeds) {
+  const InodeId f = make_file("/f");
+  ASSERT_EQ(run(client.write(f, 0, 4_MiB)), Errno::ok);
+  EXPECT_EQ(run(client.read(f, 1_MiB, 2_MiB)), Errno::ok);
+  EXPECT_EQ(client.bytes_read(), 2_MiB);
+}
+
+TEST_F(ClientFixture, ReadPastEofFails) {
+  const InodeId f = make_file("/f");
+  ASSERT_EQ(run(client.write(f, 0, 1_MiB)), Errno::ok);
+  EXPECT_EQ(run(client.read(f, 512_KiB, 1_MiB)), Errno::einval);
+}
+
+TEST_F(ClientFixture, ZeroLengthIoIsFree) {
+  const InodeId f = make_file("/f");
+  const Seconds t0 = eng.now();
+  EXPECT_EQ(run(client.write(f, 0, 0)), Errno::ok);
+  EXPECT_DOUBLE_EQ(eng.now(), t0);
+}
+
+TEST_F(ClientFixture, WriteToFailedOstReturnsEio) {
+  const InodeId f = make_file("/f", StripeSettings{2, 1_MiB, 0});
+  fs.fail_ost(0);
+  EXPECT_EQ(run(client.write(f, 0, 4_MiB)), Errno::eio);
+  // Extents must not be recorded on failure.
+  EXPECT_EQ(fs.inode(f).written.total_bytes(), 0u);
+}
+
+TEST_F(ClientFixture, WriteSpreadsOverLayoutOsts) {
+  const InodeId f = make_file("/f", StripeSettings{4, 1_MiB, 0});
+  ASSERT_EQ(run(client.write(f, 0, 8_MiB)), Errno::ok);
+  // Each of the 4 OSTs should have serviced 2 MiB.
+  for (OstIndex ost = 0; ost < 4; ++ost) {
+    EXPECT_EQ(fs.ost_disk(ost).bytes_serviced(), 2_MiB) << "ost " << ost;
+  }
+}
+
+TEST_F(ClientFixture, LargeWriteSplitsIntoRpcs) {
+  const InodeId f = make_file("/f", StripeSettings{1, 64_MiB, 0});
+  ASSERT_EQ(run(client.write(f, 0, 16_MiB)), Errno::ok);
+  // max_rpc_size is 4 MiB: 16 MiB -> 4 RPCs.
+  EXPECT_EQ(fs.ost_disk(0).requests_serviced(), 4u);
+}
+
+TEST_F(ClientFixture, TwoClientsShareNodeNic) {
+  sim::BandwidthPipe nic(eng, params.node_nic_bw);
+  Client a(fs, "a", &nic);
+  Client b(fs, "b", &nic);
+  EXPECT_EQ(a.node_key(), b.node_key());
+  Client c(fs, "c");
+  EXPECT_EQ(c.node_key(), nullptr);
+}
+
+TEST_F(ClientFixture, ConcurrentWritersBothComplete) {
+  const InodeId f1 = make_file("/f1", StripeSettings{1, 1_MiB, 0});
+  const InodeId f2 = make_file("/f2", StripeSettings{1, 1_MiB, 0});
+  Client other(fs, "c1");
+  Errno e1 = Errno::eio;
+  Errno e2 = Errno::eio;
+  eng.spawn([](Client& c, InodeId f, Errno& e) -> sim::Task {
+    e = co_await c.write(f, 0, 8_MiB);
+  }(client, f1, e1));
+  eng.spawn([](Client& c, InodeId f, Errno& e) -> sim::Task {
+    e = co_await c.write(f, 0, 8_MiB);
+  }(other, f2, e2));
+  eng.run();
+  EXPECT_EQ(e1, Errno::ok);
+  EXPECT_EQ(e2, Errno::ok);
+  EXPECT_EQ(fs.total_bytes_written(), 16_MiB);
+}
+
+TEST_F(ClientFixture, ContendedOstSlowerThanDedicated) {
+  // Two files on the same single OST vs on two different OSTs.
+  auto timed_pair = [&](std::int32_t off1, std::int32_t off2) {
+    sim::Engine e2;
+    FileSystem fs2(e2, hw::tiny_test_platform(), 7);
+    Client c1(fs2, "c1");
+    Client c2(fs2, "c2");
+    Errno err = Errno::ok;
+    e2.spawn([](Client& c, std::int32_t off, Errno& err) -> sim::Task {
+      auto r = co_await c.create("/a", StripeSettings{1, 1_MiB, off});
+      if (!r.ok()) { err = r.err; co_return; }
+      err = co_await c.write(r.value, 0, 32_MiB);
+    }(c1, off1, err));
+    e2.spawn([](Client& c, std::int32_t off, Errno& err) -> sim::Task {
+      auto r = co_await c.create("/b", StripeSettings{1, 1_MiB, off});
+      if (!r.ok()) { err = r.err; co_return; }
+      err = co_await c.write(r.value, 0, 32_MiB);
+    }(c2, off2, err));
+    e2.run();
+    PFSC_ASSERT(err == Errno::ok);
+    return e2.now();
+  };
+  const Seconds contended = timed_pair(0, 0);
+  const Seconds spread = timed_pair(0, 1);
+  EXPECT_GT(contended, spread * 1.3);
+}
+
+}  // namespace
+}  // namespace pfsc::lustre

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/disk.hpp"
+
+namespace pfsc::hw {
+namespace {
+
+DiskParams simple_params() {
+  DiskParams p;
+  p.sequential_bw = 100.0;  // 100 B/s so math is easy
+  p.seek_time = 1.0;
+  p.per_request_overhead = 0.0;
+  p.raid_full_stripe = 0;  // no RMW penalty unless a test enables it
+  p.rmw_factor = 0.5;
+  p.read_factor = 1.0;
+  p.batch = 4;
+  p.reorder_window = 0;  // strict contiguity: seeks are observable
+  return p;
+}
+
+sim::Task submit_one(sim::Engine& eng, DiskModel& disk, DiskModel::StreamId s,
+                     Bytes off, Bytes len, bool write, std::vector<double>& done) {
+  co_await disk.submit(s, off, len, write);
+  done.push_back(eng.now());
+}
+
+TEST(Disk, FirstRequestPaysOneSeek) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_params());
+  std::vector<double> done;
+  eng.spawn(submit_one(eng, disk, 1, 0, 100, true, done));
+  eng.run_until(100.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);  // 1s seek + 100B/100Bps
+  EXPECT_EQ(disk.stream_switches(), 1u);
+}
+
+TEST(Disk, SequentialSameStreamAvoidsSeeks) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_params());
+  std::vector<double> done;
+  // 3 contiguous requests from one stream: one seek then pure streaming.
+  eng.spawn([](sim::Engine& e, DiskModel& d, std::vector<double>& out) -> sim::Task {
+    co_await d.submit(1, 0, 100, true);
+    co_await d.submit(1, 100, 100, true);
+    co_await d.submit(1, 200, 100, true);
+    out.push_back(e.now());
+  }(eng, disk, done));
+  eng.run_until(100.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0], 4.0);  // 1 seek + 3 * 1s transfer
+  EXPECT_EQ(disk.stream_switches(), 1u);
+}
+
+TEST(Disk, DiscontiguousOffsetWithinStreamSeeks) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_params());
+  std::vector<double> done;
+  eng.spawn([](sim::Engine& e, DiskModel& d, std::vector<double>& out) -> sim::Task {
+    co_await d.submit(1, 0, 100, true);
+    co_await d.submit(1, 500, 100, true);  // hole: must reposition
+    out.push_back(e.now());
+  }(eng, disk, done));
+  eng.run_until(100.0);
+  EXPECT_DOUBLE_EQ(done[0], 4.0);  // 2 seeks + 2 transfers
+}
+
+TEST(Disk, InterleavedStreamsThrash) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_params());
+  std::vector<double> done;
+  // Two streams, requests arriving alternately but queued up front: the
+  // elevator batches up to 4 per stream, so 4+4 requests = 2 switches.
+  eng.spawn([](DiskModel& d, std::vector<double>& out, sim::Engine& e) -> sim::Task {
+    for (int i = 0; i < 4; ++i) co_await d.submit(1, static_cast<Bytes>(i) * 100, 100, true);
+    out.push_back(e.now());
+  }(disk, done, eng));
+  eng.spawn([](DiskModel& d, std::vector<double>& out, sim::Engine& e) -> sim::Task {
+    for (int i = 0; i < 4; ++i) co_await d.submit(2, static_cast<Bytes>(i) * 100, 100, true);
+    out.push_back(e.now());
+  }(disk, done, eng));
+  eng.run_until(1000.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(disk.requests_serviced(), 8u);
+  EXPECT_EQ(disk.bytes_serviced(), 800u);
+  // With per-request round robin (each stream has one queued request at a
+  // time because submitters are synchronous) every service switches stream.
+  EXPECT_GE(disk.stream_switches(), 7u);
+}
+
+TEST(Disk, ElevatorBatchLimitsSwitching) {
+  sim::Engine eng;
+  auto params = simple_params();
+  params.batch = 2;
+  DiskModel disk(eng, params);
+  std::vector<double> done;
+  // Queue 4 requests from each of two streams all at once (async spawns).
+  for (int s = 1; s <= 2; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      eng.spawn(submit_one(eng, disk, static_cast<DiskModel::StreamId>(s),
+                           static_cast<Bytes>(i) * 100, 100, true, done));
+    }
+  }
+  eng.run_until(1000.0);
+  ASSERT_EQ(done.size(), 8u);
+  // batch=2: serve 2 of A, 2 of B, 2 of A, 2 of B -> 4 switches.
+  EXPECT_EQ(disk.stream_switches(), 4u);
+}
+
+TEST(Disk, ReorderWindowAbsorbsSmallJumps) {
+  sim::Engine eng;
+  auto params = simple_params();
+  params.reorder_window = 1000;
+  DiskModel disk(eng, params);
+  std::vector<double> done;
+  eng.spawn([](sim::Engine& e, DiskModel& d, std::vector<double>& out) -> sim::Task {
+    co_await d.submit(1, 0, 100, true);
+    co_await d.submit(1, 600, 100, true);   // 500-byte jump: absorbed
+    co_await d.submit(1, 5000, 100, true);  // 4300-byte jump: real seek
+    out.push_back(e.now());
+  }(eng, disk, done));
+  eng.run_until(100.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0], 5.0);  // 2 seeks + 3 transfers
+}
+
+TEST(Disk, RmwPenaltyForSubStripeWrites) {
+  sim::Engine eng;
+  auto params = simple_params();
+  params.raid_full_stripe = 200;
+  params.rmw_factor = 0.5;
+  DiskModel disk(eng, params);
+  std::vector<double> done;
+  eng.spawn(submit_one(eng, disk, 1, 0, 100, true, done));  // sub-stripe
+  eng.run_until(100.0);
+  EXPECT_DOUBLE_EQ(done[0], 3.0);  // seek + 100B at 50 B/s
+}
+
+TEST(Disk, FullStripeWriteAvoidsRmw) {
+  sim::Engine eng;
+  auto params = simple_params();
+  params.raid_full_stripe = 200;
+  DiskModel disk(eng, params);
+  std::vector<double> done;
+  eng.spawn(submit_one(eng, disk, 1, 0, 200, true, done));
+  eng.run_until(100.0);
+  EXPECT_DOUBLE_EQ(done[0], 3.0);  // seek + 200B at 100 B/s
+}
+
+TEST(Disk, ReadsUseReadFactor) {
+  sim::Engine eng;
+  auto params = simple_params();
+  params.read_factor = 2.0;
+  DiskModel disk(eng, params);
+  std::vector<double> done;
+  eng.spawn(submit_one(eng, disk, 1, 0, 100, false, done));
+  eng.run_until(100.0);
+  EXPECT_DOUBLE_EQ(done[0], 1.5);  // seek + 100B at 200 B/s
+}
+
+TEST(Disk, PerRequestOverheadBoundsIops) {
+  sim::Engine eng;
+  auto params = simple_params();
+  params.seek_time = 0.0;
+  params.per_request_overhead = 0.1;
+  DiskModel disk(eng, params);
+  std::vector<double> done;
+  eng.spawn([](DiskModel& d, std::vector<double>& out, sim::Engine& e) -> sim::Task {
+    for (int i = 0; i < 10; ++i) co_await d.submit(1, static_cast<Bytes>(i) * 10, 10, true);
+    out.push_back(e.now());
+  }(disk, done, eng));
+  eng.run_until(1000.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0], 10 * (0.1 + 0.1), 1e-9);
+}
+
+TEST(Disk, BusyTimeTracksUtilisation) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_params());
+  std::vector<double> done;
+  eng.spawn(submit_one(eng, disk, 1, 0, 100, true, done));
+  eng.run_until(100.0);
+  EXPECT_DOUBLE_EQ(disk.busy_time(), 2.0);
+}
+
+TEST(Disk, ManyStreamsDegradeThroughputMonotonically) {
+  // The mechanism behind Figure 2: more concurrent streams => more seeking
+  // => lower aggregate throughput.
+  auto run_streams = [](int nstreams) {
+    sim::Engine eng;
+    DiskParams p;
+    p.sequential_bw = mb_per_sec(300.0);
+    p.seek_time = 6.0e-3;
+    p.per_request_overhead = 0.0;
+    p.raid_full_stripe = 0;
+    p.batch = 4;
+    p.reorder_window = 0;
+    DiskModel disk(eng, p);
+    const Bytes chunk = 1_MiB;
+    const int chunks = 64;
+    for (int s = 0; s < nstreams; ++s) {
+      eng.spawn([](DiskModel& d, int stream, int count, Bytes sz) -> sim::Task {
+        for (int i = 0; i < count; ++i) {
+          co_await d.submit(static_cast<DiskModel::StreamId>(stream),
+                            static_cast<Bytes>(i) * sz, sz, true);
+        }
+      }(disk, s, chunks, chunk));
+    }
+    eng.run();
+    return static_cast<double>(disk.bytes_serviced()) / eng.now();
+  };
+  const double bw1 = run_streams(1);
+  const double bw4 = run_streams(4);
+  const double bw16 = run_streams(16);
+  EXPECT_GT(bw1, bw4);
+  EXPECT_GT(bw4, bw16);
+  // Single stream approaches the sequential rate.
+  EXPECT_GT(bw1, mb_per_sec(250.0));
+}
+
+}  // namespace
+}  // namespace pfsc::hw

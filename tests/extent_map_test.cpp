@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "lustre/extent_map.hpp"
+#include "support/rng.hpp"
+
+namespace pfsc::lustre {
+namespace {
+
+TEST(ExtentMap, EmptyCoversNothing) {
+  ExtentMap m;
+  EXPECT_TRUE(m.covers(0, 0));
+  EXPECT_FALSE(m.covers(0, 1));
+  EXPECT_EQ(m.total_bytes(), 0u);
+  EXPECT_EQ(m.end_offset(), 0u);
+}
+
+TEST(ExtentMap, SingleInsert) {
+  ExtentMap m;
+  m.insert(100, 50);
+  EXPECT_TRUE(m.covers(100, 50));
+  EXPECT_TRUE(m.covers(120, 10));
+  EXPECT_FALSE(m.covers(99, 2));
+  EXPECT_FALSE(m.covers(149, 2));
+  EXPECT_EQ(m.total_bytes(), 50u);
+  EXPECT_EQ(m.end_offset(), 150u);
+}
+
+TEST(ExtentMap, AdjacentExtentsCoalesce) {
+  ExtentMap m;
+  m.insert(0, 10);
+  m.insert(10, 10);
+  EXPECT_EQ(m.extent_count(), 1u);
+  EXPECT_TRUE(m.covers(0, 20));
+  EXPECT_EQ(m.total_bytes(), 20u);
+}
+
+TEST(ExtentMap, OverlappingExtentsCoalesce) {
+  ExtentMap m;
+  m.insert(0, 15);
+  m.insert(10, 15);
+  EXPECT_EQ(m.extent_count(), 1u);
+  EXPECT_EQ(m.total_bytes(), 25u);
+}
+
+TEST(ExtentMap, ContainedInsertIsNoop) {
+  ExtentMap m;
+  m.insert(0, 100);
+  m.insert(20, 30);
+  EXPECT_EQ(m.extent_count(), 1u);
+  EXPECT_EQ(m.total_bytes(), 100u);
+}
+
+TEST(ExtentMap, BridgingInsertMergesNeighbours) {
+  ExtentMap m;
+  m.insert(0, 10);
+  m.insert(20, 10);
+  EXPECT_EQ(m.extent_count(), 2u);
+  m.insert(10, 10);
+  EXPECT_EQ(m.extent_count(), 1u);
+  EXPECT_TRUE(m.covers(0, 30));
+}
+
+TEST(ExtentMap, DisjointExtentsStaySeparate) {
+  ExtentMap m;
+  m.insert(0, 10);
+  m.insert(100, 10);
+  EXPECT_EQ(m.extent_count(), 2u);
+  EXPECT_FALSE(m.covers(0, 110));
+  EXPECT_EQ(m.covered_bytes(0, 110), 20u);
+}
+
+TEST(ExtentMap, CoveredBytesPartial) {
+  ExtentMap m;
+  m.insert(10, 10);
+  m.insert(30, 10);
+  EXPECT_EQ(m.covered_bytes(0, 100), 20u);
+  EXPECT_EQ(m.covered_bytes(15, 20), 10u);  // 5 from first, 5 from second
+  EXPECT_EQ(m.covered_bytes(50, 10), 0u);
+  EXPECT_EQ(m.covered_bytes(10, 0), 0u);
+}
+
+TEST(ExtentMap, ZeroLengthInsertIgnored) {
+  ExtentMap m;
+  m.insert(5, 0);
+  EXPECT_EQ(m.extent_count(), 0u);
+}
+
+TEST(ExtentMap, ClearResets) {
+  ExtentMap m;
+  m.insert(0, 10);
+  m.clear();
+  EXPECT_EQ(m.total_bytes(), 0u);
+  EXPECT_FALSE(m.covers(0, 1));
+}
+
+// Property test: random insertion order against a reference bitmap.
+class ExtentMapRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtentMapRandom, MatchesReferenceBitmap) {
+  Rng rng(GetParam());
+  constexpr Bytes kSpan = 4096;
+  std::vector<bool> ref(kSpan, false);
+  ExtentMap m;
+  for (int i = 0; i < 200; ++i) {
+    const Bytes off = rng.uniform(kSpan - 1);
+    const Bytes len = 1 + rng.uniform(std::min<Bytes>(kSpan - off, 64) - 1 + 1);
+    m.insert(off, len);
+    for (Bytes b = off; b < off + len && b < kSpan; ++b) ref[b] = true;
+  }
+  Bytes ref_total = 0;
+  for (bool b : ref) ref_total += b ? 1 : 0;
+  EXPECT_EQ(m.total_bytes(), ref_total);
+  // Spot-check coverage queries.
+  for (int i = 0; i < 200; ++i) {
+    const Bytes off = rng.uniform(kSpan - 1);
+    const Bytes len = 1 + rng.uniform(32);
+    bool ref_covers = off + len <= kSpan;
+    Bytes ref_count = 0;
+    for (Bytes b = off; b < off + len && b < kSpan; ++b) {
+      if (ref[b]) ++ref_count; else ref_covers = false;
+    }
+    EXPECT_EQ(m.covers(off, len), ref_covers) << "off=" << off << " len=" << len;
+    EXPECT_EQ(m.covered_bytes(off, len), ref_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentMapRandom,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull));
+
+}  // namespace
+}  // namespace pfsc::lustre

@@ -1,0 +1,106 @@
+// Tests for the MPI_Info-style hint parser/formatter.
+#include <gtest/gtest.h>
+
+#include "mpiio/info.hpp"
+#include "support/error.hpp"
+
+namespace pfsc::mpiio {
+namespace {
+
+TEST(ParseHints, FullExample) {
+  const auto parsed = parse_hints(
+      "driver=ad_lustre; striping_factor=160; striping_unit=134217728;"
+      "romio_cb_write=enable; cb_nodes=64; cb_buffer_size=16777216;"
+      "romio_ds_read=disable; ind_rd_buffer_size=4194304;"
+      "start_iodevice=-1; dirty_window=268435456");
+  EXPECT_TRUE(parsed.unknown_keys.empty());
+  const Hints& h = parsed.hints;
+  EXPECT_EQ(h.driver, Driver::ad_lustre);
+  EXPECT_EQ(h.striping_factor, 160u);
+  EXPECT_EQ(h.striping_unit, 128_MiB);
+  EXPECT_TRUE(h.romio_cb_write);
+  EXPECT_EQ(h.cb_nodes, 64u);
+  EXPECT_EQ(h.cb_buffer_size, 16_MiB);
+  EXPECT_FALSE(h.romio_ds_read);
+  EXPECT_EQ(h.ind_rd_buffer_size, 4_MiB);
+  EXPECT_EQ(h.start_iodevice, -1);
+  EXPECT_EQ(h.dirty_window, 256_MiB);
+}
+
+TEST(ParseHints, DriverAliases) {
+  EXPECT_EQ(parse_hints("filesystem=lustre").hints.driver, Driver::ad_lustre);
+  EXPECT_EQ(parse_hints("filesystem=ufs").hints.driver, Driver::ad_ufs);
+  EXPECT_EQ(parse_hints("driver=plfs").hints.driver, Driver::ad_plfs);
+}
+
+TEST(ParseHints, BooleanForms) {
+  EXPECT_TRUE(parse_hints("romio_cb_write=true").hints.romio_cb_write);
+  EXPECT_TRUE(parse_hints("romio_cb_write=1").hints.romio_cb_write);
+  EXPECT_FALSE(parse_hints("romio_cb_write=disable").hints.romio_cb_write);
+  EXPECT_FALSE(parse_hints("romio_cb_write=0").hints.romio_cb_write);
+  EXPECT_THROW(parse_hints("romio_cb_write=maybe"), pfsc::UsageError);
+}
+
+TEST(ParseHints, CommaSeparatorAndWhitespace) {
+  const auto parsed = parse_hints("  striping_factor = 8 ,striping_unit=1048576  ");
+  EXPECT_EQ(parsed.hints.striping_factor, 8u);
+  EXPECT_EQ(parsed.hints.striping_unit, 1_MiB);
+}
+
+TEST(ParseHints, UnknownKeysCollected) {
+  const auto parsed = parse_hints("cb_config_list=*:1; striping_factor=4");
+  ASSERT_EQ(parsed.unknown_keys.size(), 1u);
+  EXPECT_EQ(parsed.unknown_keys[0], "cb_config_list");
+  EXPECT_EQ(parsed.hints.striping_factor, 4u);
+}
+
+TEST(ParseHints, BaseHintsArePreserved) {
+  Hints base;
+  base.driver = Driver::ad_plfs;
+  base.cb_buffer_size = 1_MiB;
+  const auto parsed = parse_hints("striping_factor=2", base);
+  EXPECT_EQ(parsed.hints.driver, Driver::ad_plfs);
+  EXPECT_EQ(parsed.hints.cb_buffer_size, 1_MiB);
+  EXPECT_EQ(parsed.hints.striping_factor, 2u);
+}
+
+TEST(ParseHints, MalformedInputThrows) {
+  EXPECT_THROW(parse_hints("striping_factor"), pfsc::UsageError);
+  EXPECT_THROW(parse_hints("striping_factor=abc"), pfsc::UsageError);
+  EXPECT_THROW(parse_hints("driver=zfs"), pfsc::UsageError);
+}
+
+TEST(ParseHints, EmptyAndSeparatorsOnly) {
+  EXPECT_TRUE(parse_hints("").unknown_keys.empty());
+  EXPECT_TRUE(parse_hints(";;;,,,").unknown_keys.empty());
+}
+
+TEST(FormatHints, RoundTrips) {
+  Hints h;
+  h.driver = Driver::ad_lustre;
+  h.striping_factor = 96;
+  h.striping_unit = 32_MiB;
+  h.start_iodevice = 5;
+  h.romio_cb_write = false;
+  h.cb_nodes = 7;
+  h.cb_buffer_size = 8_MiB;
+  h.romio_ds_read = false;
+  h.ind_rd_buffer_size = 2_MiB;
+  h.dirty_window = 0;
+  const auto parsed = parse_hints(format_hints(h));
+  EXPECT_TRUE(parsed.unknown_keys.empty());
+  const Hints& back = parsed.hints;
+  EXPECT_EQ(back.driver, h.driver);
+  EXPECT_EQ(back.striping_factor, h.striping_factor);
+  EXPECT_EQ(back.striping_unit, h.striping_unit);
+  EXPECT_EQ(back.start_iodevice, h.start_iodevice);
+  EXPECT_EQ(back.romio_cb_write, h.romio_cb_write);
+  EXPECT_EQ(back.cb_nodes, h.cb_nodes);
+  EXPECT_EQ(back.cb_buffer_size, h.cb_buffer_size);
+  EXPECT_EQ(back.romio_ds_read, h.romio_ds_read);
+  EXPECT_EQ(back.ind_rd_buffer_size, h.ind_rd_buffer_size);
+  EXPECT_EQ(back.dirty_window, h.dirty_window);
+}
+
+}  // namespace
+}  // namespace pfsc::mpiio

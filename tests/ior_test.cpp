@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiments.hpp"
+#include "ior/ior.hpp"
+#include "ior/probe.hpp"
+#include "plfs/plfs.hpp"
+
+namespace pfsc::ior {
+namespace {
+
+using lustre::Errno;
+
+Config small_config(mpiio::Driver driver) {
+  Config cfg;
+  cfg.block_size = 1_MiB;
+  cfg.transfer_size = 256_KiB;
+  cfg.segment_count = 2;
+  cfg.hints.driver = driver;
+  cfg.hints.striping_factor = 4;
+  cfg.hints.striping_unit = 1_MiB;
+  return cfg;
+}
+
+TEST(Ior, ConfigValidation) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 1);
+  mpi::Runtime rt(fs, 2, 4);
+  Config bad = small_config(mpiio::Driver::ad_lustre);
+  bad.transfer_size = 300'000;  // does not divide block size
+  EXPECT_THROW(IorJob(rt.world(), fs, bad), UsageError);
+}
+
+TEST(Ior, WritePhaseProducesVerifiedFile) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 5);
+  mpi::Runtime rt(fs, 8, 4);
+  const Result res = run_ior(rt, small_config(mpiio::Driver::ad_lustre));
+  EXPECT_EQ(res.err, Errno::ok);
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.total_bytes, 8u * 2u * 1_MiB);
+  EXPECT_GT(res.write_mbps, 0.0);
+  EXPECT_GT(res.write_time, 0.0);
+  // The file really covers the whole extent.
+  const lustre::Inode* node = fs.find("/ior.dat");
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->written.covers(0, res.total_bytes));
+}
+
+TEST(Ior, ReadPhaseAfterWrite) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 5);
+  mpi::Runtime rt(fs, 4, 4);
+  Config cfg = small_config(mpiio::Driver::ad_lustre);
+  cfg.read_file = true;
+  const Result res = run_ior(rt, cfg);
+  EXPECT_EQ(res.err, Errno::ok);
+  EXPECT_GT(res.read_mbps, 0.0);
+  EXPECT_GT(res.read_time, 0.0);
+}
+
+TEST(Ior, IndependentModeWorks) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 5);
+  mpi::Runtime rt(fs, 4, 4);
+  Config cfg = small_config(mpiio::Driver::ad_lustre);
+  cfg.use_collective = false;
+  const Result res = run_ior(rt, cfg);
+  EXPECT_EQ(res.err, Errno::ok);
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(Ior, PlfsDriverEndToEnd) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 5);
+  mpi::Runtime rt(fs, 8, 4);
+  plfs::Plfs plfs(fs);
+  Config cfg = small_config(mpiio::Driver::ad_plfs);
+  const Result res = run_ior(rt, cfg, &plfs);
+  EXPECT_EQ(res.err, Errno::ok);
+  EXPECT_TRUE(res.verified);
+  // PLFS created one data file per rank.
+  EXPECT_EQ(plfs.backend_data_files("/ior.dat").size(), 8u);
+}
+
+TEST(Ior, MoreStripesIsFasterOnQuietSystem) {
+  // The Figure 1 effect in miniature: stripe count 1 vs 8 on the tiny
+  // platform (8 OSTs).
+  auto bw = [](std::uint32_t stripes) {
+    sim::Engine eng;
+    lustre::FileSystem fs(eng, hw::tiny_test_platform(), 5);
+    mpi::Runtime rt(fs, 8, 4);
+    Config cfg = small_config(mpiio::Driver::ad_lustre);
+    cfg.block_size = 4_MiB;
+    cfg.transfer_size = 1_MiB;
+    cfg.segment_count = 8;
+    cfg.hints.striping_factor = stripes;
+    const Result res = run_ior(rt, cfg);
+    PFSC_ASSERT(res.err == Errno::ok);
+    return res.write_mbps;
+  };
+  const double bw1 = bw(1);
+  const double bw8 = bw(8);
+  EXPECT_GT(bw8, bw1 * 1.5);
+}
+
+TEST(Probe, SingleWriterBaseline) {
+  harness::ProbeSpec spec;
+  spec.platform = hw::tiny_test_platform();
+  spec.writers = 1;
+  spec.bytes_per_writer = 16_MiB;
+  const auto res = harness::run_probe_experiment(spec, 3);
+  ASSERT_EQ(res.per_process_mbps.size(), 1u);
+  EXPECT_GT(res.mean_mbps, 0.0);
+}
+
+TEST(Probe, ContentionDegradesPerProcessBandwidth) {
+  auto mean_bw = [](std::uint32_t writers) {
+    harness::ProbeSpec spec;
+    spec.platform = hw::tiny_test_platform();
+    spec.writers = writers;
+    spec.bytes_per_writer = 64_MiB;  // long enough to reach steady state
+    return harness::run_probe_experiment(spec, 3).mean_mbps;
+  };
+  const double bw1 = mean_bw(1);
+  const double bw4 = mean_bw(4);
+  // Sharing one OST among 4 writers must cost more than 4x per process
+  // (ideal 1/n plus seek thrash).
+  EXPECT_LT(bw4, bw1 / 4.0 * 1.05);
+  EXPECT_GT(bw4, 0.0);
+}
+
+TEST(Harness, MultiJobRunsAllJobs) {
+  harness::MultiJobSpec spec;
+  spec.platform = hw::tiny_test_platform();
+  spec.jobs = 2;
+  spec.procs_per_job = 4;
+  spec.procs_per_node = 4;
+  spec.ior = small_config(mpiio::Driver::ad_lustre);
+  const auto res = harness::run_multi_ior(spec, 11);
+  ASSERT_EQ(res.per_job.size(), 2u);
+  for (const auto& job : res.per_job) {
+    EXPECT_EQ(job.err, Errno::ok);
+    EXPECT_TRUE(job.verified);
+    EXPECT_GT(job.write_mbps, 0.0);
+  }
+  EXPECT_NEAR(res.total_mbps, res.per_job[0].write_mbps + res.per_job[1].write_mbps,
+              1e-9);
+  // Census: two files, each with 4 stripes.
+  EXPECT_DOUBLE_EQ(res.contention.d_req, 8.0);
+  EXPECT_GE(res.contention.d_inuse, 4.0);
+  EXPECT_LE(res.contention.d_inuse, 8.0);
+}
+
+TEST(Harness, ContendedJobsSlowerThanSolo) {
+  ior::Config cfg = small_config(mpiio::Driver::ad_lustre);
+  cfg.block_size = 4_MiB;
+  cfg.transfer_size = 1_MiB;
+  cfg.segment_count = 4;
+  cfg.hints.striping_factor = 8;  // all OSTs of the tiny platform
+
+  harness::IorRunSpec solo;
+  solo.platform = hw::tiny_test_platform();
+  solo.nprocs = 4;
+  solo.procs_per_node = 4;
+  solo.ior = cfg;
+  const double solo_bw = harness::run_single_ior(solo, 13).write_mbps;
+
+  harness::MultiJobSpec multi;
+  multi.platform = hw::tiny_test_platform();
+  multi.jobs = 3;
+  multi.procs_per_job = 4;
+  multi.procs_per_node = 4;
+  multi.ior = cfg;
+  const auto res = harness::run_multi_ior(multi, 13);
+  for (const auto& job : res.per_job) {
+    EXPECT_LT(job.write_mbps, solo_bw);
+  }
+}
+
+TEST(Harness, RepeatComputesCi) {
+  const auto stats = harness::repeat(5, 17, [](std::uint64_t seed) {
+    return 100.0 + static_cast<double>(seed % 10);
+  });
+  EXPECT_EQ(stats.samples.size(), 5u);
+  EXPECT_GE(stats.ci.upper, stats.ci.mean);
+  EXPECT_LE(stats.ci.lower, stats.ci.mean);
+}
+
+TEST(Harness, PlfsRunReportsBackendCensus) {
+  harness::IorRunSpec spec;
+  spec.platform = hw::tiny_test_platform();
+  spec.nprocs = 8;
+  spec.procs_per_node = 4;
+  spec.ior = small_config(mpiio::Driver::ad_plfs);
+  const auto res = harness::run_plfs_ior(spec, 19);
+  EXPECT_EQ(res.ior.err, Errno::ok);
+  // 8 data files x 2 stripes = 16 stripe placements.
+  EXPECT_DOUBLE_EQ(res.backend.d_req, 16.0);
+  EXPECT_GT(res.backend.d_load, 1.0);  // 16 stripes on 8 OSTs must collide
+}
+
+}  // namespace
+}  // namespace pfsc::ior

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/metrics.hpp"
+
+namespace pfsc::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Paper ground truth: Tables III, IV and VI, and the Section VI PLFS loads.
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, TableIII_R160_D480) {
+  // Jobs, D_inuse, D_load from the paper's Table III.
+  const struct { unsigned n; double inuse; double load; } rows[] = {
+      {1, 160.00, 1.00}, {2, 266.67, 1.20}, {3, 337.78, 1.42},
+      {4, 385.19, 1.66}, {5, 416.79, 1.92}, {6, 437.86, 2.19},
+      {7, 451.91, 2.48}, {8, 461.27, 2.78}, {9, 467.51, 3.08},
+      {10, 471.68, 3.39},
+  };
+  for (const auto& row : rows) {
+    EXPECT_NEAR(d_inuse_uniform(160, row.n, 480), row.inuse, 0.005);
+    EXPECT_NEAR(d_load(160, row.n, 480), row.load, 0.006);
+    EXPECT_DOUBLE_EQ(d_req(160, row.n), 160.0 * row.n);
+  }
+}
+
+TEST(Metrics, TableIV_R64_D480) {
+  const struct { unsigned n; double inuse; double load; } rows[] = {
+      {1, 64.00, 1.00},  {2, 119.47, 1.07}, {3, 167.54, 1.15},
+      {4, 209.20, 1.22}, {5, 245.31, 1.30}, {6, 276.60, 1.39},
+      {7, 303.72, 1.48}, {8, 327.22, 1.57}, {9, 347.59, 1.66},
+      {10, 365.25, 1.75},
+  };
+  for (const auto& row : rows) {
+    EXPECT_NEAR(d_inuse_uniform(64, row.n, 480), row.inuse, 0.005);
+    EXPECT_NEAR(d_load(64, row.n, 480), row.load, 0.006);
+  }
+}
+
+TEST(Metrics, TableVI_Stampede_R128_D160) {
+  const struct { unsigned n; double inuse; double load; } rows[] = {
+      {1, 128.00, 1.00}, {2, 153.60, 1.67}, {3, 158.72, 2.42},
+      {4, 159.74, 3.21}, {5, 159.95, 4.00}, {6, 159.99, 4.80},
+      {7, 160.00, 5.60}, {8, 160.00, 6.40}, {9, 160.00, 7.20},
+      {10, 160.00, 8.00},
+  };
+  for (const auto& row : rows) {
+    EXPECT_NEAR(d_inuse_uniform(128, row.n, 160), row.inuse, 0.005);
+    EXPECT_NEAR(d_load(128, row.n, 160), row.load, 0.005);
+  }
+}
+
+TEST(Metrics, PlfsLoadsQuotedInSectionVI) {
+  // "at 512 cores ... an average of 2.4 tasks using each OST; by 688 cores,
+  //  there are 3 tasks per OST ... At 2,048 and 4,096 cores, the number of
+  //  collisions reaches 8.53 and 17.06."
+  EXPECT_NEAR(plfs_d_load(512, 480), 2.4, 0.05);
+  EXPECT_NEAR(plfs_d_load(688, 480), 3.0, 0.05);
+  EXPECT_NEAR(plfs_d_load(2048, 480), 8.53, 0.01);
+  EXPECT_NEAR(plfs_d_load(4096, 480), 17.06, 0.01);
+}
+
+TEST(Metrics, PlfsCrossoverCoreCount) {
+  const unsigned cores = plfs_cores_at_load(480, 3.0);
+  EXPECT_GE(cores, 670u);
+  EXPECT_LE(cores, 695u);
+  EXPECT_GE(plfs_d_load(cores, 480), 3.0);
+  EXPECT_LT(plfs_d_load(cores - 1, 480), 3.0);
+}
+
+TEST(Metrics, Plfs256ProcsLoadMatchesSectionVIExample) {
+  // "An execution running with 256 processes will create 256 data files,
+  //  requiring 512 stripes. Experimentally, this produces an average OST
+  //  load of 1.58."
+  // (1.58 is the paper's *measured* average; the Eq. 6 prediction is 1.62.)
+  EXPECT_NEAR(plfs_d_load(256, 480), 1.58, 0.06);
+}
+
+// ---------------------------------------------------------------------------
+// Structural properties of the equations.
+// ---------------------------------------------------------------------------
+
+class MetricsProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MetricsProperty, RecurrenceMatchesClosedForm) {
+  const auto [r, d_total] = GetParam();
+  for (unsigned n = 1; n <= 20; ++n) {
+    std::vector<double> reqs(n, r);
+    EXPECT_NEAR(d_inuse(reqs, d_total), d_inuse_uniform(r, n, d_total),
+                1e-9 * d_total);
+  }
+}
+
+TEST_P(MetricsProperty, InuseMonotoneAndBounded) {
+  const auto [r, d_total] = GetParam();
+  double prev = 0.0;
+  for (unsigned n = 1; n <= 50; ++n) {
+    const double inuse = d_inuse_uniform(r, n, d_total);
+    EXPECT_GE(inuse, prev);                                 // monotone
+    EXPECT_LE(inuse, d_total + 1e-9);                       // bounded by total
+    EXPECT_LE(inuse, d_req(r, n) + 1e-9);                   // bounded by demand
+    EXPECT_GE(inuse, r - 1e-9);                             // at least one job's worth
+    prev = inuse;
+  }
+}
+
+TEST_P(MetricsProperty, LoadAtLeastDemandOverTotal) {
+  const auto [r, d_total] = GetParam();
+  for (unsigned n = 1; n <= 50; ++n) {
+    const double load = d_load(r, n, d_total);
+    EXPECT_GE(load, 1.0 - 1e-9);
+    EXPECT_GE(load, d_req(r, n) / d_total - 1e-9);
+    // load never exceeds n (can't collide more jobs than exist)
+    EXPECT_LE(load, static_cast<double>(n) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetricsProperty,
+    ::testing::Values(std::make_tuple(1.0, 480.0), std::make_tuple(32.0, 480.0),
+                      std::make_tuple(160.0, 480.0),
+                      std::make_tuple(128.0, 160.0),
+                      std::make_tuple(2.0, 480.0),
+                      std::make_tuple(480.0, 480.0)));
+
+TEST(Metrics, HeterogeneousRecurrence) {
+  // Mixed request sizes: first job grabs 160, second 64.
+  const std::vector<double> reqs{160.0, 64.0};
+  // After job 1: 160 in use. Job 2 adds 64 * (1 - 160/480) = 42.667.
+  EXPECT_NEAR(d_inuse(reqs, 480.0), 202.667, 0.001);
+  // Order invariance of Eq. 1 under uniform randomness.
+  const std::vector<double> swapped{64.0, 160.0};
+  EXPECT_NEAR(d_inuse(reqs, 480.0), d_inuse(swapped, 480.0), 1e-9);
+}
+
+TEST(Metrics, EdgeCases) {
+  EXPECT_DOUBLE_EQ(d_inuse_uniform(0, 10, 480), 0.0);
+  EXPECT_DOUBLE_EQ(d_inuse_uniform(480, 1, 480), 480.0);
+  EXPECT_DOUBLE_EQ(d_load(160, 0, 480), 0.0);
+  EXPECT_THROW(d_inuse_uniform(481, 1, 480), UsageError);
+  EXPECT_THROW(d_inuse_uniform(-1, 1, 480), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy distribution.
+// ---------------------------------------------------------------------------
+
+TEST(Occupancy, SumsToTotalsAndMatchesEq2) {
+  const unsigned d = 480;
+  const unsigned n = 4;
+  const unsigned r = 160;
+  const auto e = occupancy_expectation(d, n, r);
+  ASSERT_EQ(e.size(), n + 1);
+  // Expected OST counts sum to the number of OSTs...
+  EXPECT_NEAR(std::accumulate(e.begin(), e.end(), 0.0), d, 1e-6);
+  // ...k-weighted sum equals total demand...
+  double weighted = 0.0;
+  for (unsigned k = 0; k <= n; ++k) weighted += k * e[k];
+  EXPECT_NEAR(weighted, d_req(r, n), 1e-6);
+  // ...and OSTs-with-at-least-one matches Eq. 2.
+  EXPECT_NEAR(d - e[0], d_inuse_uniform(r, n, d), 1e-6);
+}
+
+TEST(Occupancy, TableV_UsageColumns) {
+  // Table V, R=160 row: expected #OSTs contended by exactly 1..4 of the 4
+  // jobs: 191.8, 147.0, 41.8 (paper lists measured means; the binomial
+  // expectation should be close).
+  const auto e = occupancy_expectation(480, 4, 160);
+  EXPECT_NEAR(e[1], 189.6, 2.5);
+  EXPECT_NEAR(e[2], 142.2, 5.0);
+  EXPECT_NEAR(e[3], 47.4, 6.0);
+  EXPECT_NEAR(e[4], 5.9, 1.5);
+}
+
+TEST(Occupancy, Plfs512RanksMatchesTableVIII) {
+  // Table VIII row "0 collisions" (= exactly 1 file) averages ~124.6 across
+  // the five experiments; binomial expectation is ~121.5.
+  const auto e = occupancy_expectation(480, 512, 2);
+  EXPECT_NEAR(e[1], 121.5, 1.0);
+  EXPECT_NEAR(e[2], 129.7, 1.5);  // "1 collision" row
+  // Total OSTs in use ~429.
+  EXPECT_NEAR(480 - e[0], 423.3, 1.0);
+}
+
+TEST(Occupancy, MonteCarloAgreesWithExpectation) {
+  Rng rng(1234);
+  const unsigned d = 48;
+  const unsigned n = 6;
+  const unsigned r = 16;
+  const auto expect = occupancy_expectation(d, n, r);
+  const auto mc = occupancy_monte_carlo(d, n, r, rng, 4000);
+  ASSERT_EQ(mc.size(), expect.size());
+  for (unsigned k = 0; k <= n; ++k) {
+    EXPECT_NEAR(mc[k], expect[k], std::max(0.35, expect[k] * 0.06))
+        << "k=" << k;
+  }
+}
+
+TEST(Occupancy, DegenerateCases) {
+  // r = d: every job uses every OST.
+  const auto all = occupancy_expectation(10, 3, 10);
+  EXPECT_NEAR(all[3], 10.0, 1e-9);
+  EXPECT_NEAR(all[0] + all[1] + all[2], 0.0, 1e-9);
+  // r = 0: nothing used.
+  const auto none = occupancy_expectation(10, 3, 0);
+  EXPECT_NEAR(none[0], 10.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Advisors and observation helpers.
+// ---------------------------------------------------------------------------
+
+TEST(Advisor, RecommendsLargestStripeWithinBudget) {
+  const auto advice = advise_stripe_count(480.0, 4, 1.25, 160);
+  EXPECT_GT(advice.recommended_stripes, 0u);
+  EXPECT_LE(advice.predicted_load, 1.25);
+  // One more stripe would blow the budget (or hit the cap).
+  if (advice.recommended_stripes < 160) {
+    EXPECT_GT(d_load(advice.recommended_stripes + 1, 4, 480.0), 1.25);
+  }
+}
+
+TEST(Advisor, PaperScenario32StripesIsLowLoad) {
+  // Section V: four jobs at 32 stripes => load ~1.11.
+  EXPECT_NEAR(d_load(32, 4, 480), 1.11, 0.005);
+  const auto advice = advise_stripe_count(480.0, 4, 1.11, 160);
+  EXPECT_GE(advice.recommended_stripes, 32u);
+}
+
+TEST(Advisor, UnreachableBudgetReturnsZero) {
+  // With 10 jobs each needing >= 1 stripe on 4 OSTs the load is >= 2.5.
+  const auto advice = advise_stripe_count(4.0, 10, 1.0, 4);
+  EXPECT_EQ(advice.recommended_stripes, 0u);
+}
+
+TEST(Observe, ComputesLoadAndHistogram) {
+  const std::vector<std::uint32_t> counts{0, 1, 2, 2, 0, 3};
+  const auto obs = observe(counts);
+  EXPECT_DOUBLE_EQ(obs.d_inuse, 4.0);
+  EXPECT_DOUBLE_EQ(obs.d_req, 8.0);
+  EXPECT_DOUBLE_EQ(obs.d_load, 2.0);
+  ASSERT_EQ(obs.histogram.size(), 4u);
+  EXPECT_EQ(obs.histogram[0], 2u);
+  EXPECT_EQ(obs.histogram[1], 1u);
+  EXPECT_EQ(obs.histogram[2], 2u);
+  EXPECT_EQ(obs.histogram[3], 1u);
+}
+
+TEST(Observe, EmptyCounts) {
+  const auto obs = observe(std::vector<std::uint32_t>{});
+  EXPECT_DOUBLE_EQ(obs.d_load, 0.0);
+  EXPECT_DOUBLE_EQ(obs.d_inuse, 0.0);
+}
+
+}  // namespace
+}  // namespace pfsc::core

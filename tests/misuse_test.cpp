@@ -1,0 +1,105 @@
+// API-misuse tests: every PFSC_REQUIRE guard a downstream user can trip
+// must throw UsageError rather than corrupt simulation state.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.hpp"
+#include "ior/probe.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/telemetry.hpp"
+
+namespace pfsc {
+namespace {
+
+TEST(Misuse, CommunicatorBadRanks) {
+  sim::Engine eng;
+  mpi::Communicator comm(eng, 4);
+  EXPECT_THROW(
+      {
+        eng.spawn([](mpi::Communicator& c) -> sim::Task {
+          co_await c.allreduce(7, 1.0, mpi::Communicator::ReduceOp::sum);
+        }(comm));
+        eng.run();
+      },
+      UsageError);
+  EXPECT_THROW(
+      {
+        eng.spawn([](mpi::Communicator& c) -> sim::Task {
+          co_await c.bcast(0, 9, 1.0);  // bad root
+        }(comm));
+        eng.run();
+      },
+      UsageError);
+  EXPECT_THROW(mpi::Communicator(eng, 0), UsageError);
+}
+
+TEST(Misuse, RuntimeBadConfigs) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 1);
+  EXPECT_THROW(mpi::Runtime(fs, 0, 4), UsageError);
+  EXPECT_THROW(mpi::Runtime(fs, 4, 0), UsageError);
+  mpi::Runtime rt(fs, 4, 4);
+  EXPECT_THROW(rt.client(-1), UsageError);
+  EXPECT_THROW(rt.client(4), UsageError);
+}
+
+TEST(Misuse, EngineSpawnGuards) {
+  sim::Engine eng;
+  EXPECT_THROW(eng.spawn(sim::Task{}), UsageError);
+  // Double spawn of the same task is rejected.
+  auto coro = [](sim::Engine& e) -> sim::Task { co_await e.delay(1.0); };
+  sim::Task t = coro(eng);
+  eng.spawn(t);
+  EXPECT_THROW(eng.spawn(t), UsageError);
+  eng.run();
+}
+
+TEST(Misuse, ResourceAndPipeGuards) {
+  sim::Engine eng;
+  EXPECT_THROW(sim::Resource(eng, 0), UsageError);
+  EXPECT_THROW(sim::Barrier(eng, 0), UsageError);
+  EXPECT_THROW(sim::BandwidthPipe(eng, 0.0), UsageError);
+}
+
+TEST(Misuse, FileSystemGuards) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 1);
+  EXPECT_THROW(fs.inode(0), UsageError);
+  EXPECT_THROW(fs.inode(999), UsageError);
+  EXPECT_THROW(fs.ost_disk(999), UsageError);
+  EXPECT_THROW(fs.fail_ost(999), UsageError);
+  EXPECT_THROW(fs.degrade_ost(0, 0.0), UsageError);
+  auto bad_params = hw::tiny_test_platform();
+  bad_params.ost_count = 0;
+  EXPECT_THROW(lustre::FileSystem(eng, bad_params, 1), UsageError);
+}
+
+TEST(Misuse, ProbeRequiresMatchingRuntime) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 1);
+  mpi::Runtime rt(fs, 4, 4);
+  ior::ProbeConfig cfg;
+  cfg.num_writers = 8;  // != runtime size
+  EXPECT_THROW(ior::run_probe(rt, cfg), UsageError);
+}
+
+TEST(Misuse, SamplerGuards) {
+  sim::Engine eng;
+  EXPECT_THROW(trace::Sampler(eng, 0.0), UsageError);
+  EXPECT_THROW(trace::Sampler(eng, 1.0, 0), UsageError);
+  trace::Sampler sampler(eng, 1.0, 1);
+  EXPECT_THROW(sampler.add_probe("x", nullptr), UsageError);
+  EXPECT_THROW(sampler.series(0), UsageError);
+}
+
+TEST(Misuse, HarnessGuards) {
+  EXPECT_THROW(harness::repeat(0, 1, [](std::uint64_t) { return 0.0; }),
+               UsageError);
+  harness::MultiJobSpec bad;
+  bad.jobs = 0;
+  EXPECT_THROW(harness::run_multi_ior(bad, 1), UsageError);
+  harness::IorRunSpec plfs_spec;  // wrong driver for run_plfs_ior
+  EXPECT_THROW(harness::run_plfs_ior(plfs_spec, 1), UsageError);
+}
+
+}  // namespace
+}  // namespace pfsc

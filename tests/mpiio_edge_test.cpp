@@ -1,0 +1,181 @@
+// Edge-case tests for the MPI-IO File layer: misuse detection, zero-length
+// operations, data-sieving window boundaries, reopen cycles, and the
+// ad_plfs collective read path.
+#include <gtest/gtest.h>
+
+#include "mpi/runtime.hpp"
+#include "mpiio/file.hpp"
+#include "plfs/plfs.hpp"
+
+namespace pfsc::mpiio {
+namespace {
+
+using lustre::Errno;
+
+struct EdgeFixture : ::testing::Test {
+  sim::Engine eng;
+  lustre::FileSystem fs{eng, hw::tiny_test_platform(), 61};
+
+  Hints lustre_hints() {
+    Hints h;
+    h.driver = Driver::ad_lustre;
+    h.striping_factor = 4;
+    h.striping_unit = 1_MiB;
+    return h;
+  }
+};
+
+TEST_F(EdgeFixture, WriteBeforeOpenIsMisuse) {
+  mpi::Runtime rt(fs, 2, 4);
+  File file(rt.world(), fs, "/f", lustre_hints());
+  bool threw = false;
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    if (rank == 0) {
+      try {
+        co_await file.write_at(0, 0, 1_MiB);
+      } catch (const UsageError&) {
+        threw = true;
+      }
+    }
+    co_return;
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(EdgeFixture, BadRankRejected) {
+  mpi::Runtime rt(fs, 2, 4);
+  File file(rt.world(), fs, "/f", lustre_hints());
+  EXPECT_THROW(
+      {
+        rt.run_to_completion([&](int rank) -> sim::Task {
+          co_await file.open(rank + 10, rt.client(rank));
+        });
+      },
+      UsageError);
+}
+
+TEST_F(EdgeFixture, ZeroLengthCollectiveWriteIsFree) {
+  mpi::Runtime rt(fs, 4, 4);
+  File file(rt.world(), fs, "/f", lustre_hints());
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    EXPECT_EQ(co_await file.write_at_all(rank, 0, 0), Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  EXPECT_EQ(fs.inode(file.context().ino).size, 0u);
+}
+
+TEST_F(EdgeFixture, MixedZeroAndNonZeroCollective) {
+  mpi::Runtime rt(fs, 4, 4);
+  File file(rt.world(), fs, "/f", lustre_hints());
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    // Only even ranks contribute data.
+    const Bytes len = rank % 2 == 0 ? 1_MiB : 0;
+    EXPECT_EQ(co_await file.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, len),
+              Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  const lustre::Inode& node = fs.inode(file.context().ino);
+  EXPECT_TRUE(node.written.covers(0, 1_MiB));
+  EXPECT_FALSE(node.written.covers(1_MiB, 1_MiB));
+  EXPECT_TRUE(node.written.covers(2_MiB, 1_MiB));
+}
+
+TEST_F(EdgeFixture, ReopenCycleWriteThenReadTwice) {
+  mpi::Runtime rt(fs, 2, 4);
+  File file(rt.world(), fs, "/f", lustre_hints());
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    // Cycle 1: create + write.
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank), true), Errno::ok);
+    EXPECT_EQ(co_await file.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB),
+              Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+    // Cycle 2: reopen + read.
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank), false), Errno::ok);
+    EXPECT_EQ(co_await file.read_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB),
+              Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+    // Cycle 3: reopen + append more.
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank), true), Errno::ok);
+    EXPECT_EQ(co_await file.write_at_all(rank, (2 + static_cast<Bytes>(rank)) * 1_MiB, 1_MiB),
+              Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  EXPECT_TRUE(fs.inode(file.context().ino).written.covers(0, 4_MiB));
+}
+
+TEST_F(EdgeFixture, DataSievingWindowClampsAtEof) {
+  mpi::Runtime rt(fs, 2, 4);
+  Hints h = lustre_hints();
+  h.romio_ds_read = true;
+  h.ind_rd_buffer_size = 4_MiB;
+  File file(rt.world(), fs, "/f", h);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    EXPECT_EQ(co_await file.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB),
+              Errno::ok);
+    // File size is 2 MiB; a sieved read near the end must clamp its 4 MiB
+    // window rather than reading past EOF.
+    EXPECT_EQ(co_await file.read_at(rank, 1_MiB + 512_KiB, 256_KiB), Errno::ok);
+    // Reading truly beyond EOF still fails.
+    EXPECT_EQ(co_await file.read_at(rank, 3_MiB, 1_MiB), Errno::einval);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+}
+
+TEST_F(EdgeFixture, PlfsCollectiveReadGoesIndependent) {
+  mpi::Runtime rt(fs, 4, 4);
+  plfs::Plfs plfs(fs);
+  Hints h;
+  h.driver = Driver::ad_plfs;
+  File writer(rt.world(), fs, "/c", h, &plfs);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await writer.open(rank, rt.client(rank), true), Errno::ok);
+    EXPECT_EQ(co_await writer.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB),
+              Errno::ok);
+    EXPECT_EQ(co_await writer.close(rank), Errno::ok);
+  });
+  // Fresh collective handle for the read pass.
+  File reader(rt.world(), fs, "/c", h, &plfs);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await reader.open(rank, rt.client(rank), false), Errno::ok);
+    // Cross-rank read: rank r reads rank (r+1)'s block through the merged
+    // index.
+    const Bytes off = static_cast<Bytes>((rank + 1) % 4) * 1_MiB;
+    EXPECT_EQ(co_await reader.read_at_all(rank, off, 1_MiB), Errno::ok);
+    EXPECT_EQ(co_await reader.close(rank), Errno::ok);
+  });
+}
+
+TEST_F(EdgeFixture, CbNodesLimitsAggregators) {
+  // With cb_nodes=1 a single aggregator serialises the drain; with one per
+  // node (2 nodes) it parallelises. Both must produce identical coverage.
+  auto run_with = [&](std::uint32_t cb_nodes) {
+    sim::Engine e2;
+    lustre::FileSystem fs2(e2, hw::tiny_test_platform(), 61);
+    mpi::Runtime rt(fs2, 8, 4);
+    Hints h;
+    h.driver = Driver::ad_lustre;
+    h.striping_factor = 4;
+    h.striping_unit = 1_MiB;
+    h.cb_nodes = cb_nodes;
+    File file(rt.world(), fs2, "/f", h);
+    rt.run_to_completion([&](int rank) -> sim::Task {
+      EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+      for (int i = 0; i < 4; ++i) {
+        const Bytes off = (static_cast<Bytes>(i) * 8 + static_cast<Bytes>(rank)) * 1_MiB;
+        EXPECT_EQ(co_await file.write_at_all(rank, off, 1_MiB), Errno::ok);
+      }
+      EXPECT_EQ(co_await file.close(rank), Errno::ok);
+    });
+    EXPECT_TRUE(fs2.inode(file.context().ino).written.covers(0, 32_MiB));
+    return e2.now();
+  };
+  const Seconds one_agg = run_with(1);
+  const Seconds two_aggs = run_with(0);  // default: one per node
+  EXPECT_LT(two_aggs, one_agg);
+}
+
+}  // namespace
+}  // namespace pfsc::mpiio

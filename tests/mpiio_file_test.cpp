@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "mpi/runtime.hpp"
+#include "mpiio/file.hpp"
+
+namespace pfsc::mpiio {
+namespace {
+
+using lustre::Errno;
+
+struct FileFixture : ::testing::Test {
+  sim::Engine eng;
+  lustre::FileSystem fs{eng, hw::tiny_test_platform(), 21};
+
+  Hints lustre_hints(std::uint32_t stripes, Bytes stripe_size) {
+    Hints h;
+    h.driver = Driver::ad_lustre;
+    h.striping_factor = stripes;
+    h.striping_unit = stripe_size;
+    return h;
+  }
+};
+
+TEST_F(FileFixture, AdLustreAppliesHintsAtCreate) {
+  mpi::Runtime rt(fs, 4, 4);
+  File file(rt.world(), fs, "/f", lustre_hints(4, 2_MiB));
+  std::vector<Errno> errs(4, Errno::eio);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    errs[static_cast<std::size_t>(rank)] =
+        co_await file.open(rank, rt.client(rank));
+  });
+  for (auto e : errs) EXPECT_EQ(e, Errno::ok);
+  const lustre::Inode& node = fs.inode(file.context().ino);
+  EXPECT_EQ(node.layout.stripe_count(), 4u);
+  EXPECT_EQ(node.layout.stripe_size, 2_MiB);
+}
+
+TEST_F(FileFixture, AdUfsIgnoresHints) {
+  mpi::Runtime rt(fs, 4, 4);
+  Hints h = lustre_hints(4, 2_MiB);
+  h.driver = Driver::ad_ufs;
+  File file(rt.world(), fs, "/f", h);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+  });
+  const lustre::Inode& node = fs.inode(file.context().ino);
+  EXPECT_EQ(node.layout.stripe_count(), fs.params().default_stripe_count);
+  EXPECT_EQ(node.layout.stripe_size, fs.params().default_stripe_size);
+}
+
+TEST_F(FileFixture, CollectiveWriteCoversExtentExactly) {
+  mpi::Runtime rt(fs, 8, 4);
+  File file(rt.world(), fs, "/f", lustre_hints(4, 1_MiB));
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    // Each rank writes 1 MiB at rank-strided offsets, twice.
+    for (int round = 0; round < 2; ++round) {
+      const Bytes off = (static_cast<Bytes>(round) * 8 + static_cast<Bytes>(rank)) * 1_MiB;
+      EXPECT_EQ(co_await file.write_at_all(rank, off, 1_MiB), Errno::ok);
+    }
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  const lustre::Inode& node = fs.inode(file.context().ino);
+  EXPECT_EQ(node.size, 16_MiB);
+  EXPECT_TRUE(node.written.covers(0, 16_MiB));
+  EXPECT_EQ(node.written.total_bytes(), 16_MiB);
+}
+
+TEST_F(FileFixture, CollectiveWriteWithHolesRecordsOnlyData) {
+  mpi::Runtime rt(fs, 4, 4);
+  File file(rt.world(), fs, "/f", lustre_hints(2, 1_MiB));
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    // 1 MiB of data every 4 MiB: 3/4 of the extent is holes.
+    const Bytes off = static_cast<Bytes>(rank) * 4_MiB;
+    EXPECT_EQ(co_await file.write_at_all(rank, off, 1_MiB), Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  const lustre::Inode& node = fs.inode(file.context().ino);
+  EXPECT_EQ(node.written.total_bytes(), 4u * 1_MiB);
+  EXPECT_TRUE(node.written.covers(0, 1_MiB));
+  EXPECT_FALSE(node.written.covers(1_MiB, 1_MiB));
+  EXPECT_TRUE(node.written.covers(12_MiB, 1_MiB));
+  EXPECT_EQ(node.size, 13_MiB);
+}
+
+TEST_F(FileFixture, IndependentWritesBypassAggregation) {
+  mpi::Runtime rt(fs, 4, 4);
+  File file(rt.world(), fs, "/f", lustre_hints(2, 1_MiB));
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    EXPECT_EQ(co_await file.write_at(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB),
+              Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  EXPECT_TRUE(fs.inode(file.context().ino).written.covers(0, 4_MiB));
+}
+
+TEST_F(FileFixture, CollectiveBufferingDisabledFallsBackToIndependent) {
+  mpi::Runtime rt(fs, 4, 4);
+  Hints h = lustre_hints(2, 1_MiB);
+  h.romio_cb_write = false;
+  File file(rt.world(), fs, "/f", h);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    EXPECT_EQ(co_await file.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB),
+              Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  EXPECT_TRUE(fs.inode(file.context().ino).written.covers(0, 4_MiB));
+}
+
+TEST_F(FileFixture, CollectiveReadAfterWrite) {
+  mpi::Runtime rt(fs, 4, 4);
+  File file(rt.world(), fs, "/f", lustre_hints(2, 1_MiB));
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    const Bytes off = static_cast<Bytes>(rank) * 1_MiB;
+    EXPECT_EQ(co_await file.write_at_all(rank, off, 1_MiB), Errno::ok);
+    EXPECT_EQ(co_await file.read_at_all(rank, off, 1_MiB), Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+}
+
+TEST_F(FileFixture, IndependentReadBeyondEofFails) {
+  mpi::Runtime rt(fs, 2, 4);
+  File file(rt.world(), fs, "/f", lustre_hints(1, 1_MiB));
+  std::vector<Errno> read_errs(2, Errno::ok);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    EXPECT_EQ(co_await file.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB),
+              Errno::ok);
+    read_errs[static_cast<std::size_t>(rank)] =
+        co_await file.read_at(rank, 10_MiB, 1_MiB);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  for (auto e : read_errs) EXPECT_EQ(e, Errno::einval);
+}
+
+TEST_F(FileFixture, WriteToFailedOstPropagatesEio) {
+  // With write-behind the write itself is only "accepted"; the EIO surfaces
+  // at the flush point (close), exactly like asynchronous I/O on a real
+  // client.
+  mpi::Runtime rt(fs, 4, 4);
+  File file(rt.world(), fs, "/f", lustre_hints(2, 1_MiB));
+  std::vector<Errno> close_errs(4, Errno::ok);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    if (rank == 0) {
+      // Fail one of the file's OSTs between open and write.
+      fs.fail_ost(fs.inode(file.context().ino).layout.osts[0]);
+    }
+    co_await rt.world().barrier(rank);
+    co_await file.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB);
+    close_errs[static_cast<std::size_t>(rank)] = co_await file.close(rank);
+  });
+  // Every rank sees the failure by close time.
+  for (auto e : close_errs) EXPECT_EQ(e, Errno::eio);
+}
+
+TEST_F(FileFixture, SynchronousModeSurfacesEioAtWrite) {
+  mpi::Runtime rt(fs, 4, 4);
+  Hints h = lustre_hints(2, 1_MiB);
+  h.dirty_window = 0;  // disable write-behind
+  File file(rt.world(), fs, "/f", h);
+  std::vector<Errno> errs(4, Errno::ok);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    if (rank == 0) {
+      fs.fail_ost(fs.inode(file.context().ino).layout.osts[0]);
+    }
+    co_await rt.world().barrier(rank);
+    errs[static_cast<std::size_t>(rank)] =
+        co_await file.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB);
+  });
+  for (auto e : errs) EXPECT_EQ(e, Errno::eio);
+}
+
+TEST_F(FileFixture, LargeStripesRouteThroughFewAggregatorWrites) {
+  // With 4 nodes and stripe-aligned domains, each aggregator should write
+  // its own region; check data lands on the right OSTs via disk counters.
+  mpi::Runtime rt(fs, 8, 2);  // 4 nodes -> 4 aggregators
+  File file(rt.world(), fs, "/f", lustre_hints(4, 1_MiB));
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    EXPECT_EQ(co_await file.open(rank, rt.client(rank)), Errno::ok);
+    EXPECT_EQ(co_await file.write_at_all(rank, static_cast<Bytes>(rank) * 1_MiB, 1_MiB),
+              Errno::ok);
+    EXPECT_EQ(co_await file.close(rank), Errno::ok);
+  });
+  Bytes total = 0;
+  for (lustre::OstIndex ost = 0; ost < fs.params().ost_count; ++ost) {
+    total += fs.ost_disk(ost).bytes_serviced();
+  }
+  EXPECT_EQ(total, 8u * 1_MiB);
+}
+
+TEST_F(FileFixture, OpenOfMissingFileWithoutCreateFails) {
+  mpi::Runtime rt(fs, 2, 4);
+  File file(rt.world(), fs, "/missing", lustre_hints(1, 1_MiB));
+  std::vector<Errno> errs(2, Errno::ok);
+  rt.run_to_completion([&](int rank) -> sim::Task {
+    errs[static_cast<std::size_t>(rank)] =
+        co_await file.open(rank, rt.client(rank), /*create=*/false);
+  });
+  for (auto e : errs) EXPECT_EQ(e, Errno::enoent);
+}
+
+}  // namespace
+}  // namespace pfsc::mpiio

@@ -1,0 +1,74 @@
+// Tests for PLFS container removal.
+#include <gtest/gtest.h>
+
+#include "plfs/plfs.hpp"
+
+namespace pfsc::plfs {
+namespace {
+
+using lustre::Errno;
+
+struct PlfsRmFixture : ::testing::Test {
+  sim::Engine eng;
+  lustre::FileSystem fs{eng, hw::tiny_test_platform(), 41};
+  lustre::Client client{fs, "c"};
+  Plfs plfs{fs};
+
+  template <typename T>
+  T run(sim::Co<T> op) {
+    T out{};
+    eng.spawn([](sim::Co<T> op, T& out) -> sim::Task {
+      out = co_await std::move(op);
+    }(std::move(op), out));
+    eng.run();
+    return out;
+  }
+};
+
+TEST_F(PlfsRmFixture, RemovesContainerAndReleasesObjects) {
+  for (int rank = 0; rank < 4; ++rank) {
+    auto h = run(plfs.open_write(client, "/ckpt", rank));
+    ASSERT_TRUE(h.ok());
+    ASSERT_EQ(run(plfs.write(client, h.value, static_cast<Bytes>(rank) * 1_MiB, 1_MiB)),
+              Errno::ok);
+    ASSERT_EQ(run(plfs.close_write(client, h.value)), Errno::ok);
+  }
+  auto usage_before = fs.objects_per_ost();
+  std::uint64_t objects_before = 0;
+  for (auto u : usage_before) objects_before += u;
+  EXPECT_GT(objects_before, 0u);
+
+  EXPECT_EQ(run(plfs.remove(client, "/ckpt")), Errno::ok);
+  EXPECT_FALSE(fs.exists("/ckpt"));
+  EXPECT_FALSE(plfs.is_container("/ckpt"));
+  std::uint64_t objects_after = 0;
+  for (auto u : fs.objects_per_ost()) objects_after += u;
+  EXPECT_EQ(objects_after, 0u);
+}
+
+TEST_F(PlfsRmFixture, RemoveOfNonContainerFails) {
+  EXPECT_EQ(run(plfs.remove(client, "/missing")), Errno::enoent);
+  ASSERT_TRUE(run(client.mkdir("/plain")).ok());
+  EXPECT_EQ(run(plfs.remove(client, "/plain")), Errno::enoent);
+  EXPECT_TRUE(fs.exists("/plain"));  // untouched
+}
+
+TEST_F(PlfsRmFixture, ContainerCanBeRecreatedAfterRemove) {
+  auto h = run(plfs.open_write(client, "/ckpt", 0));
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(run(plfs.write(client, h.value, 0, 1_MiB)), Errno::ok);
+  ASSERT_EQ(run(plfs.close_write(client, h.value)), Errno::ok);
+  ASSERT_EQ(run(plfs.remove(client, "/ckpt")), Errno::ok);
+
+  auto h2 = run(plfs.open_write(client, "/ckpt", 0));
+  ASSERT_TRUE(h2.ok());
+  ASSERT_EQ(run(plfs.write(client, h2.value, 0, 2_MiB)), Errno::ok);
+  ASSERT_EQ(run(plfs.close_write(client, h2.value)), Errno::ok);
+  auto rh = run(plfs.open_read(client, "/ckpt"));
+  ASSERT_TRUE(rh.ok());
+  // Only the new data is visible: the old shadow index is gone.
+  EXPECT_EQ(rh.value.logical_size(), 2_MiB);
+}
+
+}  // namespace
+}  // namespace pfsc::plfs

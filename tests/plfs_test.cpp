@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "plfs/plfs.hpp"
+
+namespace pfsc::plfs {
+namespace {
+
+using lustre::Errno;
+using lustre::InodeId;
+
+struct PlfsFixture : ::testing::Test {
+  sim::Engine eng;
+  lustre::FileSystem fs{eng, hw::tiny_test_platform(), 31};
+  lustre::Client client{fs, "c0"};
+  Plfs plfs{fs};
+
+  template <typename T>
+  T run(sim::Co<T> op) {
+    T out{};
+    eng.spawn([](sim::Co<T> op, T& out) -> sim::Task {
+      out = co_await std::move(op);
+    }(std::move(op), out));
+    eng.run();
+    return out;
+  }
+};
+
+TEST_F(PlfsFixture, HashdirNameBuckets) {
+  EXPECT_EQ(Plfs::hashdir_name(0, 32), "hostdir.0");
+  EXPECT_EQ(Plfs::hashdir_name(33, 32), "hostdir.1");
+  EXPECT_EQ(Plfs::hashdir_name(5, 4), "hostdir.1");
+}
+
+TEST_F(PlfsFixture, OpenWriteCreatesContainerStructure) {
+  auto h = run(plfs.open_write(client, "/ckpt", 3));
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(plfs.is_container("/ckpt"));
+  EXPECT_TRUE(fs.exists("/ckpt/access"));
+  EXPECT_TRUE(fs.exists("/ckpt/" + Plfs::hashdir_name(3, plfs.params().num_hash_dirs) +
+                        "/data.3"));
+  EXPECT_TRUE(fs.exists("/ckpt/" + Plfs::hashdir_name(3, plfs.params().num_hash_dirs) +
+                        "/index.3"));
+}
+
+TEST_F(PlfsFixture, BackendFilesGetDefaultStriping) {
+  auto h = run(plfs.open_write(client, "/ckpt", 0));
+  ASSERT_TRUE(h.ok());
+  const lustre::Inode& data = fs.inode(h.value.data_file);
+  EXPECT_EQ(data.layout.stripe_count(), fs.params().default_stripe_count);
+  EXPECT_EQ(data.layout.stripe_size, fs.params().default_stripe_size);
+}
+
+TEST_F(PlfsFixture, WritesAppendLogStructured) {
+  auto h = run(plfs.open_write(client, "/ckpt", 0));
+  ASSERT_TRUE(h.ok());
+  auto& wh = h.value;
+  // Logical writes at scattered offsets append physically.
+  EXPECT_EQ(run(plfs.write(client, wh, 10_MiB, 1_MiB)), Errno::ok);
+  EXPECT_EQ(run(plfs.write(client, wh, 0, 1_MiB)), Errno::ok);
+  EXPECT_EQ(run(plfs.write(client, wh, 5_MiB, 1_MiB)), Errno::ok);
+  EXPECT_EQ(wh.data_cursor, 3u * 1_MiB);
+  const lustre::Inode& data = fs.inode(wh.data_file);
+  EXPECT_TRUE(data.written.covers(0, 3u * 1_MiB));  // physically contiguous
+  EXPECT_EQ(run(plfs.close_write(client, wh)), Errno::ok);
+}
+
+TEST_F(PlfsFixture, IndexFlushedOnClose) {
+  auto h = run(plfs.open_write(client, "/ckpt", 0));
+  ASSERT_TRUE(h.ok());
+  auto& wh = h.value;
+  EXPECT_EQ(run(plfs.write(client, wh, 0, 1_MiB)), Errno::ok);
+  const lustre::Inode& index = fs.inode(wh.index_file);
+  EXPECT_EQ(index.size, 0u);  // buffered
+  EXPECT_EQ(run(plfs.close_write(client, wh)), Errno::ok);
+  EXPECT_EQ(index.size, plfs.params().index_record_bytes);
+}
+
+TEST_F(PlfsFixture, IndexFlushesAtThreshold) {
+  auto h = run(plfs.open_write(client, "/ckpt", 0));
+  ASSERT_TRUE(h.ok());
+  auto& wh = h.value;
+  const auto threshold = plfs.params().index_flush_records;
+  for (std::uint32_t i = 0; i < threshold; ++i) {
+    EXPECT_EQ(run(plfs.write(client, wh, static_cast<Bytes>(i) * 64_KiB, 64_KiB)),
+              Errno::ok);
+  }
+  EXPECT_EQ(fs.inode(wh.index_file).size,
+            static_cast<Bytes>(threshold) * plfs.params().index_record_bytes);
+}
+
+TEST_F(PlfsFixture, ReadBackResolvesAcrossWriters) {
+  // Two ranks write disjoint halves of the logical file.
+  auto h0 = run(plfs.open_write(client, "/ckpt", 0));
+  auto h1 = run(plfs.open_write(client, "/ckpt", 1));
+  ASSERT_TRUE(h0.ok() && h1.ok());
+  EXPECT_EQ(run(plfs.write(client, h0.value, 0, 2_MiB)), Errno::ok);
+  EXPECT_EQ(run(plfs.write(client, h1.value, 2_MiB, 2_MiB)), Errno::ok);
+  EXPECT_EQ(run(plfs.close_write(client, h0.value)), Errno::ok);
+  EXPECT_EQ(run(plfs.close_write(client, h1.value)), Errno::ok);
+
+  auto rh = run(plfs.open_read(client, "/ckpt"));
+  ASSERT_TRUE(rh.ok());
+  EXPECT_EQ(rh.value.logical_size(), 4_MiB);
+  EXPECT_EQ(run(plfs.read(client, rh.value, 0, 4_MiB)), Errno::ok);
+  EXPECT_EQ(run(plfs.read(client, rh.value, 1_MiB, 2_MiB)), Errno::ok);
+}
+
+TEST_F(PlfsFixture, ReadOfHoleFails) {
+  auto h = run(plfs.open_write(client, "/ckpt", 0));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(run(plfs.write(client, h.value, 0, 1_MiB)), Errno::ok);
+  EXPECT_EQ(run(plfs.write(client, h.value, 2_MiB, 1_MiB)), Errno::ok);
+  EXPECT_EQ(run(plfs.close_write(client, h.value)), Errno::ok);
+  auto rh = run(plfs.open_read(client, "/ckpt"));
+  ASSERT_TRUE(rh.ok());
+  EXPECT_EQ(run(plfs.read(client, rh.value, 0, 3_MiB)), Errno::einval);
+  EXPECT_EQ(run(plfs.read(client, rh.value, 2_MiB, 1_MiB)), Errno::ok);
+}
+
+TEST_F(PlfsFixture, OverlappingWritesLastTimestampWins) {
+  ReadHandle h;
+  IndexRecord a{0, 100, 0, 0, 1.0};
+  IndexRecord b{50, 100, 500, 1, 2.0};  // later, overlaps tail of a
+  h.splice(a, 10);
+  h.splice(b, 20);
+  std::vector<ReadHandle::Mapping> runs;
+  ASSERT_TRUE(h.resolve(0, 150, runs));
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].data_file, 10u);
+  EXPECT_EQ(runs[0].length, 50u);
+  EXPECT_EQ(runs[0].physical, 0u);
+  EXPECT_EQ(runs[1].data_file, 20u);
+  EXPECT_EQ(runs[1].length, 100u);
+  EXPECT_EQ(runs[1].physical, 500u);
+}
+
+TEST_F(PlfsFixture, OverlapInsertedOutOfOrderStillWins) {
+  ReadHandle h;
+  IndexRecord newer{0, 100, 0, 0, 5.0};
+  IndexRecord older{0, 200, 300, 1, 1.0};
+  h.splice(newer, 10);
+  h.splice(older, 20);  // arrives later but is older data
+  std::vector<ReadHandle::Mapping> runs;
+  ASSERT_TRUE(h.resolve(0, 200, runs));
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].data_file, 10u);  // newer data survives
+  EXPECT_EQ(runs[0].length, 100u);
+  EXPECT_EQ(runs[1].data_file, 20u);
+  EXPECT_EQ(runs[1].physical, 400u);  // older record's tail: 300 + (100-0)
+}
+
+TEST_F(PlfsFixture, SpliceMiddleOverwrite) {
+  ReadHandle h;
+  h.splice(IndexRecord{0, 300, 0, 0, 1.0}, 10);
+  h.splice(IndexRecord{100, 100, 1000, 1, 2.0}, 20);
+  std::vector<ReadHandle::Mapping> runs;
+  ASSERT_TRUE(h.resolve(0, 300, runs));
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].length, 100u);
+  EXPECT_EQ(runs[0].physical, 0u);
+  EXPECT_EQ(runs[1].physical, 1000u);
+  EXPECT_EQ(runs[2].physical, 200u);  // tail of the original record
+  EXPECT_EQ(runs[2].data_file, 10u);
+}
+
+TEST_F(PlfsFixture, NRanksCreateNDataFilesWith2StripesEach) {
+  // The self-contention mechanism of Section VI.
+  const int n = 16;
+  for (int rank = 0; rank < n; ++rank) {
+    auto h = run(plfs.open_write(client, "/ckpt", rank));
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(run(plfs.write(client, h.value, static_cast<Bytes>(rank) * 1_MiB, 1_MiB)),
+              Errno::ok);
+    EXPECT_EQ(run(plfs.close_write(client, h.value)), Errno::ok);
+  }
+  const auto data_files = plfs.backend_data_files("/ckpt");
+  EXPECT_EQ(data_files.size(), static_cast<std::size_t>(n));
+  const auto occupancy = fs.ost_occupancy(data_files);
+  Bytes stripes = 0;
+  for (auto c : occupancy) stripes += c;
+  EXPECT_EQ(stripes, static_cast<Bytes>(n) * fs.params().default_stripe_count);
+}
+
+TEST_F(PlfsFixture, OpenReadOnNonContainerFails) {
+  ASSERT_TRUE(run(client.mkdir("/plain")).ok());
+  auto r = run(plfs.open_read(client, "/plain"));
+  EXPECT_EQ(r.err, Errno::enoent);
+}
+
+TEST_F(PlfsFixture, EmptyContainerReadsAsEmpty) {
+  auto h = run(plfs.open_write(client, "/ckpt", 0));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(run(plfs.close_write(client, h.value)), Errno::ok);
+  auto rh = run(plfs.open_read(client, "/ckpt"));
+  ASSERT_TRUE(rh.ok());
+  EXPECT_EQ(rh.value.logical_size(), 0u);
+}
+
+TEST_F(PlfsFixture, BackendStripeOverride) {
+  PlfsParams params;
+  params.backend_stripe = lustre::StripeSettings{4, 1_MiB, -1};
+  Plfs tuned(fs, params);
+  auto h = run(tuned.open_write(client, "/tuned", 0));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(fs.inode(h.value.data_file).layout.stripe_count(), 4u);
+}
+
+}  // namespace
+}  // namespace pfsc::plfs

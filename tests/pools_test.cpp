@@ -1,0 +1,176 @@
+// Tests for OST pools: management operations, pool-constrained allocation,
+// interaction with failures and directory defaults, and the QoS isolation
+// they provide (the contention remedy the paper's discussion points at).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lustre/fs.hpp"
+#include "lustre/lfs.hpp"
+
+namespace pfsc::lustre {
+namespace {
+
+struct PoolsFixture : ::testing::Test {
+  sim::Engine eng;
+  hw::PlatformParams params = hw::tiny_test_platform();
+  FileSystem fs{eng, hw::tiny_test_platform(), 13};
+
+  template <typename T>
+  T run(sim::Co<T> op) {
+    T out{};
+    eng.spawn([](sim::Co<T> op, T& out) -> sim::Task {
+      out = co_await std::move(op);
+    }(std::move(op), out));
+    eng.run();
+    return out;
+  }
+};
+
+TEST_F(PoolsFixture, PoolNameType) {
+  PoolName p("flash");
+  EXPECT_EQ(p.view(), "flash");
+  EXPECT_FALSE(p.empty());
+  EXPECT_TRUE(PoolName().empty());
+  EXPECT_EQ(PoolName("a"), PoolName("a"));
+  EXPECT_FALSE(PoolName("a") == PoolName("b"));
+  // Over-long names truncate at the Lustre limit instead of overflowing.
+  const PoolName longname("0123456789012345678901234567890123456789");
+  EXPECT_EQ(longname.view().size(), 31u);
+}
+
+TEST_F(PoolsFixture, PoolManagement) {
+  EXPECT_EQ(fs.pool_new("flash"), Errno::ok);
+  EXPECT_EQ(fs.pool_new("flash"), Errno::eexist);
+  EXPECT_EQ(fs.pool_new(""), Errno::einval);
+  const std::vector<OstIndex> members{0, 1, 2};
+  EXPECT_EQ(fs.pool_add("flash", members), Errno::ok);
+  EXPECT_EQ(fs.pool_add("missing", members), Errno::enoent);
+  const std::vector<OstIndex> bad{100};
+  EXPECT_EQ(fs.pool_add("flash", bad), Errno::einval);
+  auto list = fs.pool_members("flash");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value, members);
+  EXPECT_EQ(fs.pool_members("missing").err, Errno::enoent);
+  EXPECT_EQ(fs.pool_names(), std::vector<std::string>{"flash"});
+}
+
+TEST_F(PoolsFixture, DuplicateAddIsIdempotent) {
+  ASSERT_EQ(fs.pool_new("p"), Errno::ok);
+  const std::vector<OstIndex> members{3, 4};
+  ASSERT_EQ(fs.pool_add("p", members), Errno::ok);
+  ASSERT_EQ(fs.pool_add("p", members), Errno::ok);
+  EXPECT_EQ(fs.pool_members("p").value.size(), 2u);
+}
+
+TEST_F(PoolsFixture, AllocationConfinedToPool) {
+  ASSERT_EQ(fs.pool_new("flash"), Errno::ok);
+  const std::vector<OstIndex> members{5, 6, 7};
+  ASSERT_EQ(fs.pool_add("flash", members), Errno::ok);
+  StripeSettings settings{2, 1_MiB, -1};
+  settings.pool = "flash";
+  for (int i = 0; i < 10; ++i) {
+    auto r = run(fs.create("/f" + std::to_string(i), settings));
+    ASSERT_TRUE(r.ok());
+    for (OstIndex ost : fs.inode(r.value).layout.osts) {
+      EXPECT_GE(ost, 5u);
+      EXPECT_LE(ost, 7u);
+    }
+  }
+}
+
+TEST_F(PoolsFixture, UnknownPoolRejected) {
+  StripeSettings settings{1, 1_MiB, -1};
+  settings.pool = "nope";
+  EXPECT_EQ(run(fs.create("/f", settings)).err, Errno::einval);
+}
+
+TEST_F(PoolsFixture, PoolTooSmallGivesEnospc) {
+  ASSERT_EQ(fs.pool_new("tiny"), Errno::ok);
+  const std::vector<OstIndex> members{0};
+  ASSERT_EQ(fs.pool_add("tiny", members), Errno::ok);
+  StripeSettings settings{2, 1_MiB, -1};
+  settings.pool = "tiny";
+  EXPECT_EQ(run(fs.create("/f", settings)).err, Errno::enospc);
+}
+
+TEST_F(PoolsFixture, FailedPoolMemberSkipped) {
+  ASSERT_EQ(fs.pool_new("p"), Errno::ok);
+  const std::vector<OstIndex> members{0, 1, 2};
+  ASSERT_EQ(fs.pool_add("p", members), Errno::ok);
+  fs.fail_ost(1);
+  StripeSettings settings{2, 1_MiB, -1};
+  settings.pool = "p";
+  auto r = run(fs.create("/f", settings));
+  ASSERT_TRUE(r.ok());
+  for (OstIndex ost : fs.inode(r.value).layout.osts) EXPECT_NE(ost, 1u);
+  // With another failure only one member is healthy.
+  fs.fail_ost(0);
+  EXPECT_EQ(run(fs.create("/g", settings)).err, Errno::enospc);
+}
+
+TEST_F(PoolsFixture, DirectoryDefaultCarriesPool) {
+  ASSERT_EQ(fs.pool_new("proj"), Errno::ok);
+  const std::vector<OstIndex> members{2, 3, 4};
+  ASSERT_EQ(fs.pool_add("proj", members), Errno::ok);
+  ASSERT_TRUE(run(fs.mkdir("/proj")).ok());
+  StripeSettings dir_default{2, 1_MiB, -1};
+  dir_default.pool = "proj";
+  ASSERT_EQ(run(fs.set_dir_stripe("/proj", dir_default)), Errno::ok);
+  // A file created with no explicit settings inherits the pool.
+  auto r = run(fs.create("/proj/data", StripeSettings{}));
+  ASSERT_TRUE(r.ok());
+  for (OstIndex ost : fs.inode(r.value).layout.osts) {
+    EXPECT_GE(ost, 2u);
+    EXPECT_LE(ost, 4u);
+  }
+}
+
+TEST_F(PoolsFixture, PoolsIsolateWorkloads) {
+  // Two "tenants" on disjoint pools can never collide, whatever the RNG
+  // does — the QoS guarantee random global allocation cannot give.
+  ASSERT_EQ(fs.pool_new("a"), Errno::ok);
+  ASSERT_EQ(fs.pool_new("b"), Errno::ok);
+  const std::vector<OstIndex> left{0, 1, 2, 3};
+  const std::vector<OstIndex> right{4, 5, 6, 7};
+  ASSERT_EQ(fs.pool_add("a", left), Errno::ok);
+  ASSERT_EQ(fs.pool_add("b", right), Errno::ok);
+  std::vector<InodeId> files_a;
+  std::vector<InodeId> files_b;
+  for (int i = 0; i < 8; ++i) {
+    StripeSettings sa{2, 1_MiB, -1};
+    sa.pool = "a";
+    StripeSettings sb{2, 1_MiB, -1};
+    sb.pool = "b";
+    files_a.push_back(run(fs.create("/a" + std::to_string(i), sa)).expect("a"));
+    files_b.push_back(run(fs.create("/b" + std::to_string(i), sb)).expect("b"));
+  }
+  const auto occ_a = fs.ost_occupancy(files_a);
+  const auto occ_b = fs.ost_occupancy(files_b);
+  for (OstIndex ost = 0; ost < params.ost_count; ++ost) {
+    EXPECT_FALSE(occ_a[ost] > 0 && occ_b[ost] > 0) << "shared OST " << ost;
+  }
+}
+
+TEST_F(PoolsFixture, LfsWrappers) {
+  EXPECT_EQ(lfs_pool_new(fs, "w"), Errno::ok);
+  const std::vector<OstIndex> members{1, 2};
+  EXPECT_EQ(lfs_pool_add(fs, "w", members), Errno::ok);
+  auto list = lfs_pool_list(fs, "w");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value, members);
+}
+
+TEST_F(PoolsFixture, ExplicitOffsetOverridesPool) {
+  ASSERT_EQ(fs.pool_new("p"), Errno::ok);
+  const std::vector<OstIndex> members{6, 7};
+  ASSERT_EQ(fs.pool_add("p", members), Errno::ok);
+  StripeSettings settings{1, 1_MiB, 0};  // explicit OST 0
+  settings.pool = "p";
+  auto r = run(fs.create("/f", settings));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(fs.inode(r.value).layout.osts[0], 0u);
+}
+
+}  // namespace
+}  // namespace pfsc::lustre

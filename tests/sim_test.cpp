@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+#include "sim/task.hpp"
+
+namespace pfsc::sim {
+namespace {
+
+Task record_at(Engine& eng, Seconds t, std::vector<double>& log, double id) {
+  co_await eng.delay(t);
+  log.push_back(id);
+  log.push_back(eng.now());
+}
+
+TEST(Engine, DelaysRunInTimeOrder) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(record_at(eng, 2.0, log, 1));
+  eng.spawn(record_at(eng, 1.0, log, 2));
+  eng.spawn(record_at(eng, 3.0, log, 3));
+  eng.run();
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_EQ(log[0], 2);
+  EXPECT_EQ(log[1], 1.0);
+  EXPECT_EQ(log[2], 1);
+  EXPECT_EQ(log[3], 2.0);
+  EXPECT_EQ(log[4], 3);
+  EXPECT_EQ(log[5], 3.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST(Engine, SameTimestampIsFifo) {
+  Engine eng;
+  std::vector<double> log;
+  for (int i = 0; i < 8; ++i) eng.spawn(record_at(eng, 1.0, log, i));
+  eng.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(log[static_cast<std::size_t>(2 * i)], i);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(record_at(eng, 1.0, log, 1));
+  eng.spawn(record_at(eng, 5.0, log, 2));
+  EXPECT_FALSE(eng.run_until(2.0));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+  EXPECT_TRUE(eng.run_until(10.0));
+  EXPECT_EQ(log.size(), 4u);
+}
+
+TEST(Engine, ExecutedEventsCounts) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(record_at(eng, 1.0, log, 1));
+  eng.run();
+  EXPECT_GE(eng.executed_events(), 2u);  // initial resume + delay resume
+}
+
+Task chained(Engine& eng, int depth, int& out) {
+  if (depth > 0) {
+    Task child = chained(eng, depth - 1, out);
+    eng.spawn(child);
+    co_await child;
+  }
+  ++out;
+}
+
+TEST(Task, JoinPropagatesCompletionThroughChain) {
+  Engine eng;
+  int count = 0;
+  eng.spawn(chained(eng, 20, count));
+  eng.run();
+  EXPECT_EQ(count, 21);
+}
+
+struct Boom : std::runtime_error {
+  Boom() : std::runtime_error("boom") {}
+};
+
+Task thrower(Engine& eng) {
+  co_await eng.delay(1.0);
+  throw Boom();
+}
+
+TEST(Task, UnjoinedExceptionSurfacesFromRun) {
+  Engine eng;
+  eng.spawn(thrower(eng));
+  EXPECT_THROW(eng.run(), Boom);
+}
+
+Task join_thrower(Engine& eng, bool& caught) {
+  Task t = thrower(eng);
+  eng.spawn(t);
+  try {
+    co_await t;
+  } catch (const Boom&) {
+    caught = true;
+  }
+}
+
+TEST(Task, JoinerReceivesException) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(join_thrower(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+Task multi_join_target(Engine& eng) { co_await eng.delay(1.0); }
+
+Task joiner(Engine& eng, Task target, int& done) {
+  co_await target;
+  ++done;
+  EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+}
+
+TEST(Task, ManyJoinersAllResume) {
+  Engine eng;
+  Task target = multi_join_target(eng);
+  eng.spawn(target);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) eng.spawn(joiner(eng, target, done));
+  eng.run();
+  EXPECT_EQ(done, 5);
+}
+
+TEST(Task, JoinAfterCompletionIsImmediate) {
+  Engine eng;
+  Task target = multi_join_target(eng);
+  eng.spawn(target);
+  eng.run();
+  EXPECT_TRUE(target.done());
+  int done = 0;
+  eng.spawn(joiner(eng, target, done));
+  eng.run();
+  EXPECT_EQ(done, 1);
+}
+
+Co<int> answer(Engine& eng) {
+  co_await eng.delay(0.5);
+  co_return 42;
+}
+
+Task co_consumer(Engine& eng, int& out) { out = co_await answer(eng); }
+
+TEST(Co, ReturnsValueAfterSimDelay) {
+  Engine eng;
+  int out = 0;
+  eng.spawn(co_consumer(eng, out));
+  eng.run();
+  EXPECT_EQ(out, 42);
+  EXPECT_DOUBLE_EQ(eng.now(), 0.5);
+}
+
+Co<void> co_thrower(Engine& eng) {
+  co_await eng.delay(0.1);
+  throw Boom();
+}
+
+Task co_catcher(Engine& eng, bool& caught) {
+  try {
+    co_await co_thrower(eng);
+  } catch (const Boom&) {
+    caught = true;
+  }
+}
+
+TEST(Co, ExceptionPropagatesToAwaiter) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(co_catcher(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+Task event_waiter(Event& evt, std::vector<double>& log, Engine& eng) {
+  co_await evt.wait();
+  log.push_back(eng.now());
+}
+
+Task event_trigger(Engine& eng, Event& evt, Seconds at) {
+  co_await eng.delay(at);
+  evt.trigger();
+}
+
+TEST(Event, WakesAllWaitersAtTriggerTime) {
+  Engine eng;
+  Event evt(eng);
+  std::vector<double> log;
+  for (int i = 0; i < 3; ++i) eng.spawn(event_waiter(evt, log, eng));
+  eng.spawn(event_trigger(eng, evt, 2.5));
+  eng.run();
+  ASSERT_EQ(log.size(), 3u);
+  for (double t : log) EXPECT_DOUBLE_EQ(t, 2.5);
+}
+
+TEST(Event, WaitAfterFireIsImmediate) {
+  Engine eng;
+  Event evt(eng);
+  evt.trigger();
+  std::vector<double> log;
+  eng.spawn(event_waiter(evt, log, eng));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 0.0);
+}
+
+Task resource_user(Engine& eng, Resource& res, Seconds hold,
+                   std::vector<double>& done_times) {
+  co_await res.acquire();
+  co_await eng.delay(hold);
+  res.release();
+  done_times.push_back(eng.now());
+}
+
+TEST(Resource, CapacityOneSerialises) {
+  Engine eng;
+  Resource res(eng, 1);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) eng.spawn(resource_user(eng, res, 1.0, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(done[static_cast<std::size_t>(i)], i + 1.0);
+}
+
+TEST(Resource, CapacityTwoOverlaps) {
+  Engine eng;
+  Resource res(eng, 2);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) eng.spawn(resource_user(eng, res, 1.0, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.0);
+  EXPECT_DOUBLE_EQ(done[2], 2.0);
+  EXPECT_DOUBLE_EQ(done[3], 2.0);
+}
+
+TEST(Resource, FifoHandOff) {
+  Engine eng;
+  Resource res(eng, 1);
+  std::vector<double> done;
+  // Spawn in a known order; completion order must match spawn order.
+  std::vector<double> ids;
+  for (int i = 0; i < 6; ++i) {
+    eng.spawn([](Engine& e, Resource& r, std::vector<double>& out,
+                 double id) -> Task {
+      co_await r.acquire();
+      co_await e.delay(0.5);
+      out.push_back(id);
+      r.release();
+    }(eng, res, ids, i));
+  }
+  eng.run();
+  ASSERT_EQ(ids.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(ids[static_cast<std::size_t>(i)], i);
+}
+
+Task barrier_party(Engine& eng, Barrier& bar, Seconds arrive_at,
+                   std::vector<double>& times) {
+  co_await eng.delay(arrive_at);
+  co_await bar.arrive();
+  times.push_back(eng.now());
+}
+
+TEST(Barrier, ReleasesEveryoneAtLastArrival) {
+  Engine eng;
+  Barrier bar(eng, 3);
+  std::vector<double> times;
+  eng.spawn(barrier_party(eng, bar, 1.0, times));
+  eng.spawn(barrier_party(eng, bar, 2.0, times));
+  eng.spawn(barrier_party(eng, bar, 5.0, times));
+  eng.run();
+  ASSERT_EQ(times.size(), 3u);
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 5.0);
+  EXPECT_EQ(bar.generation(), 1u);
+}
+
+Task barrier_loop(Engine& eng, Barrier& bar, int rounds, Seconds step,
+                  std::vector<double>& times) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await eng.delay(step);
+    co_await bar.arrive();
+    times.push_back(eng.now());
+  }
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Engine eng;
+  Barrier bar(eng, 2);
+  std::vector<double> times;
+  eng.spawn(barrier_loop(eng, bar, 3, 1.0, times));
+  eng.spawn(barrier_loop(eng, bar, 3, 2.0, times));
+  eng.run();
+  ASSERT_EQ(times.size(), 6u);
+  // Rounds complete at the slower party's pace: 2, 4, 6.
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_DOUBLE_EQ(times[2], 4.0);
+  EXPECT_DOUBLE_EQ(times[3], 4.0);
+  EXPECT_DOUBLE_EQ(times[4], 6.0);
+  EXPECT_DOUBLE_EQ(times[5], 6.0);
+  EXPECT_EQ(bar.generation(), 3u);
+}
+
+Task pipe_user(Engine& eng, BandwidthPipe& pipe, Bytes bytes,
+               std::vector<double>& done) {
+  co_await pipe.transfer(bytes);
+  done.push_back(eng.now());
+  (void)eng;
+}
+
+TEST(BandwidthPipe, SingleTransferTakesBytesOverRate) {
+  Engine eng;
+  BandwidthPipe pipe(eng, 100.0);  // 100 B/s
+  std::vector<double> done;
+  eng.spawn(pipe_user(eng, pipe, 250, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0], 2.5);
+  EXPECT_EQ(pipe.bytes_moved(), 250u);
+  EXPECT_EQ(pipe.transfers(), 1u);
+}
+
+TEST(BandwidthPipe, ConcurrentTransfersShareByQueueing) {
+  Engine eng;
+  BandwidthPipe pipe(eng, 100.0);
+  std::vector<double> done;
+  eng.spawn(pipe_user(eng, pipe, 100, done));
+  eng.spawn(pipe_user(eng, pipe, 100, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);  // serialised: total rate preserved
+}
+
+TEST(BandwidthPipe, UtilisationAccounting) {
+  Engine eng;
+  BandwidthPipe pipe(eng, 100.0);
+  std::vector<double> done;
+  eng.spawn(pipe_user(eng, pipe, 100, done));
+  eng.spawn([](Engine& e) -> Task { co_await e.delay(4.0); }(eng));
+  eng.run();
+  EXPECT_DOUBLE_EQ(pipe.utilisation(), 0.25);  // busy 1s of 4s
+}
+
+TEST(BandwidthPipe, MultiChannelOverlaps) {
+  Engine eng;
+  BandwidthPipe pipe(eng, 100.0, 0.0, 2);
+  std::vector<double> done;
+  eng.spawn(pipe_user(eng, pipe, 100, done));
+  eng.spawn(pipe_user(eng, pipe, 100, done));
+  eng.run();
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.0);
+}
+
+}  // namespace
+}  // namespace pfsc::sim

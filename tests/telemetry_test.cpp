@@ -1,0 +1,122 @@
+// Tests for the telemetry sampler: tick cadence, probe packs, bandwidth
+// differentiation, CSV export and lifetime bounds.
+#include <gtest/gtest.h>
+
+#include "lustre/client.hpp"
+#include "trace/telemetry.hpp"
+
+namespace pfsc::trace {
+namespace {
+
+TEST(Sampler, TicksAtInterval) {
+  sim::Engine eng;
+  Sampler sampler(eng, 1.0, /*max_ticks=*/5);
+  int calls = 0;
+  sampler.add_probe("calls", [&] { return static_cast<double>(++calls); });
+  sampler.start();
+  eng.run();
+  const Series& s = sampler.series(0);
+  ASSERT_EQ(s.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(s.at[i], static_cast<double>(i));
+  }
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Sampler, WatchPredicateStopsSampling) {
+  sim::Engine eng;
+  Sampler sampler(eng, 1.0);
+  int remaining = 3;
+  sampler.add_probe("x", [] { return 0.0; });
+  sampler.watch([&] { return --remaining > 0; });
+  sampler.start();
+  eng.run();
+  EXPECT_EQ(sampler.series(0).size(), 3u);
+}
+
+TEST(Sampler, StopEndsEarly) {
+  sim::Engine eng;
+  Sampler sampler(eng, 1.0);
+  sampler.add_probe("x", [] { return 1.0; });
+  sampler.start();
+  eng.spawn([](sim::Engine& e, Sampler& s) -> sim::Task {
+    co_await e.delay(2.5);
+    s.stop();
+  }(eng, sampler));
+  eng.run();
+  EXPECT_EQ(sampler.series(0).size(), 3u);  // t = 0, 1, 2
+}
+
+TEST(Sampler, RegistrationAfterStartRejected) {
+  sim::Engine eng;
+  Sampler sampler(eng, 1.0, 1);
+  sampler.add_probe("x", [] { return 0.0; });
+  sampler.start();
+  EXPECT_THROW(sampler.add_probe("y", [] { return 0.0; }), UsageError);
+  EXPECT_THROW(sampler.start(), UsageError);
+  eng.run();
+}
+
+TEST(Sampler, BandwidthTimelineDifferentiates) {
+  Series cumulative;
+  cumulative.name = "bytes";
+  cumulative.at = {0.0, 1.0, 2.0, 3.0};
+  cumulative.value = {0.0, 1e6, 3e6, 3e6};
+  const Series bw = Sampler::bandwidth_timeline(cumulative);
+  ASSERT_EQ(bw.size(), 3u);
+  EXPECT_DOUBLE_EQ(bw.value[0], 1.0);  // 1 MB in 1 s
+  EXPECT_DOUBLE_EQ(bw.value[1], 2.0);
+  EXPECT_DOUBLE_EQ(bw.value[2], 0.0);
+  EXPECT_EQ(bw.name, "bytes_mbps");
+}
+
+TEST(Sampler, CsvHasHeaderAndRows) {
+  sim::Engine eng;
+  Sampler sampler(eng, 1.0, 2);
+  sampler.add_probe("a", [] { return 1.5; });
+  sampler.add_probe("b", [] { return 2.5; });
+  sampler.start();
+  eng.run();
+  const std::string csv = sampler.to_csv();
+  EXPECT_NE(csv.find("time,a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,1.5,2.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,1.5,2.5\n"), std::string::npos);
+}
+
+TEST(Sampler, ObservesRealWorkload) {
+  sim::Engine eng;
+  lustre::FileSystem fs(eng, hw::tiny_test_platform(), 3);
+  lustre::Client client(fs, "c");
+  Sampler sampler(eng, 0.05, 2000);
+  const auto bytes_idx = sampler.add_total_bytes_probe(fs);
+  sampler.add_ost_busy_probe(fs, 0);
+  sampler.add_ost_queue_probe(fs, 0);
+  bool writing = true;
+  sampler.watch([&] { return writing; });
+  sampler.start();
+  eng.spawn([](lustre::Client& c, bool& writing) -> sim::Task {
+    auto f = co_await c.create("/f", lustre::StripeSettings{1, 1_MiB, 0});
+    PFSC_ASSERT(f.ok());
+    for (int i = 0; i < 32; ++i) {
+      PFSC_ASSERT(co_await c.write(f.value, static_cast<Bytes>(i) * 1_MiB, 1_MiB) ==
+                  lustre::Errno::ok);
+    }
+    writing = false;
+  }(client, writing));
+  eng.run();
+  const Series& bytes = sampler.series(bytes_idx);
+  ASSERT_GE(bytes.size(), 3u);
+  // Monotone non-decreasing cumulative counter ending at 32 MiB.
+  for (std::size_t i = 1; i < bytes.size(); ++i) {
+    EXPECT_GE(bytes.value[i], bytes.value[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(bytes.value.back(), static_cast<double>(32_MiB));
+  // The derived bandwidth timeline has positive mass.
+  const Series bw = Sampler::bandwidth_timeline(bytes);
+  double peak = 0.0;
+  for (double v : bw.value) peak = std::max(peak, v);
+  EXPECT_GT(peak, 0.0);
+}
+
+}  // namespace
+}  // namespace pfsc::trace

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpiio/two_phase.hpp"
+#include "support/error.hpp"
+
+namespace pfsc::mpiio {
+namespace {
+
+TEST(MergeExtents, MergesOverlapsAndSorts) {
+  const std::vector<IoRequest> reqs{
+      {0, 100, 50}, {1, 0, 60}, {2, 50, 60}, {3, 300, 10}, {4, 200, 0},
+  };
+  const auto merged = merge_extents(reqs);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (std::pair<Bytes, Bytes>{0, 150}));
+  EXPECT_EQ(merged[1], (std::pair<Bytes, Bytes>{300, 10}));
+}
+
+TEST(MergeExtents, AdjacentExtentsMerge) {
+  const std::vector<IoRequest> reqs{{0, 0, 10}, {1, 10, 10}};
+  const auto merged = merge_extents(reqs);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].second, 20u);
+}
+
+TEST(ChooseAggregators, OnePerNodeByDefault) {
+  int n0 = 0;
+  int n1 = 1;
+  int n2 = 2;
+  const std::vector<const void*> keys{&n0, &n0, &n0, &n1, &n1, &n2};
+  const auto aggs = choose_aggregators(keys, 0);
+  EXPECT_EQ(aggs, (std::vector<int>{0, 3, 5}));
+}
+
+TEST(ChooseAggregators, ThinsToCbNodes) {
+  int nodes[8];
+  std::vector<const void*> keys;
+  for (auto& n : nodes) {
+    keys.push_back(&n);
+    keys.push_back(&n);  // two ranks per node
+  }
+  const auto aggs = choose_aggregators(keys, 4);
+  ASSERT_EQ(aggs.size(), 4u);
+  // Evenly spread across the 8 node-first ranks (even indices).
+  for (std::size_t i = 1; i < aggs.size(); ++i) EXPECT_GT(aggs[i], aggs[i - 1]);
+  for (int a : aggs) EXPECT_EQ(a % 2, 0);
+}
+
+std::vector<IoRequest> dense_requests(int nranks, Bytes each) {
+  std::vector<IoRequest> reqs;
+  for (int r = 0; r < nranks; ++r) {
+    reqs.push_back({r, static_cast<Bytes>(r) * each, each});
+  }
+  return reqs;
+}
+
+TEST(PlanTwoPhase, DenseExtentSplitsAcrossAggregators) {
+  const auto reqs = dense_requests(8, 1_MiB);  // 8 MiB total
+  const std::vector<int> aggs{0, 4};
+  const auto plans = plan_two_phase(reqs, aggs, 16_MiB, 1_MiB);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].agg_rank, 0);
+  EXPECT_EQ(plans[1].agg_rank, 4);
+  EXPECT_EQ(plans[0].domain_begin, 0u);
+  EXPECT_EQ(plans[0].domain_end, 4_MiB);
+  EXPECT_EQ(plans[1].domain_begin, 4_MiB);
+  EXPECT_EQ(plans[1].domain_end, 8_MiB);
+  // Everything fits one round per aggregator.
+  ASSERT_EQ(plans[0].rounds.size(), 1u);
+  EXPECT_EQ(plans[0].rounds[0].present_bytes, 4_MiB);
+}
+
+TEST(PlanTwoPhase, RoundsBoundedByCbBuffer) {
+  const auto reqs = dense_requests(8, 1_MiB);
+  const std::vector<int> aggs{0};
+  const auto plans = plan_two_phase(reqs, aggs, 2_MiB, 1_MiB);
+  ASSERT_EQ(plans.size(), 1u);
+  ASSERT_EQ(plans[0].rounds.size(), 4u);
+  for (const auto& round : plans[0].rounds) {
+    EXPECT_EQ(round.present_bytes, 2_MiB);
+  }
+}
+
+TEST(PlanTwoPhase, TotalPresentBytesEqualsData) {
+  const auto reqs = dense_requests(16, 512_KiB);
+  const std::vector<int> aggs{0, 5, 9};
+  const auto plans = plan_two_phase(reqs, aggs, 1_MiB, 512_KiB);
+  Bytes total = 0;
+  for (const auto& p : plans) {
+    for (const auto& r : p.rounds) {
+      total += r.present_bytes;
+      Bytes ext_total = 0;
+      for (const auto& [off, len] : r.extents) {
+        ext_total += len;
+        EXPECT_GE(off, p.domain_begin);
+        EXPECT_LE(off + len, p.domain_end);
+      }
+      EXPECT_EQ(ext_total, r.present_bytes);
+    }
+  }
+  EXPECT_EQ(total, 16u * 512_KiB);
+}
+
+TEST(PlanTwoPhase, SparseStridedRequests) {
+  // IOR-segmented pattern: each rank writes 1 MiB at stride 4 MiB.
+  std::vector<IoRequest> reqs;
+  for (int r = 0; r < 4; ++r) {
+    reqs.push_back({r, static_cast<Bytes>(r) * 4_MiB, 1_MiB});
+  }
+  const std::vector<int> aggs{0, 2};
+  const auto plans = plan_two_phase(reqs, aggs, 16_MiB, 1_MiB);
+  Bytes total = 0;
+  for (const auto& p : plans) {
+    for (const auto& r : p.rounds) total += r.present_bytes;
+  }
+  EXPECT_EQ(total, 4u * 1_MiB);
+  // Extent span is [0, 13 MiB); each aggregator owns half (rounded to 1 MiB).
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].domain_begin, 0u);
+  EXPECT_EQ(plans[1].domain_end, 13_MiB);
+}
+
+TEST(PlanTwoPhase, DomainsAlignToStripes) {
+  const auto reqs = dense_requests(10, 1_MiB);  // 10 MiB
+  const std::vector<int> aggs{0, 1, 2};
+  const auto plans = plan_two_phase(reqs, aggs, 16_MiB, 4_MiB);
+  // ceil(10/3) = 3.34 MiB -> rounded up to 4 MiB domains.
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_EQ(plans[0].domain_end, 4_MiB);
+  EXPECT_EQ(plans[1].domain_begin, 4_MiB);
+  EXPECT_EQ(plans[1].domain_end, 8_MiB);
+  EXPECT_EQ(plans[2].domain_end, 10_MiB);
+}
+
+TEST(PlanTwoPhase, EmptyAndZeroRequests) {
+  const std::vector<int> aggs{0};
+  EXPECT_TRUE(plan_two_phase({}, aggs, 1_MiB, 0).empty());
+  const std::vector<IoRequest> zero{{0, 100, 0}, {1, 50, 0}};
+  EXPECT_TRUE(plan_two_phase(zero, aggs, 1_MiB, 0).empty());
+}
+
+TEST(PlanTwoPhase, MoreAggregatorsThanData) {
+  const std::vector<IoRequest> reqs{{0, 0, 1_MiB}};
+  const std::vector<int> aggs{0, 1, 2, 3};
+  const auto plans = plan_two_phase(reqs, aggs, 16_MiB, 1_MiB);
+  ASSERT_EQ(plans.size(), 1u);  // empty domains are dropped
+  EXPECT_EQ(plans[0].rounds[0].present_bytes, 1_MiB);
+}
+
+TEST(PlanTwoPhase, NonZeroBaseOffset) {
+  // All data far from offset zero: domains must start at the data.
+  std::vector<IoRequest> reqs{{0, 1_GiB, 2_MiB}, {1, 1_GiB + 2_MiB, 2_MiB}};
+  const std::vector<int> aggs{0, 1};
+  const auto plans = plan_two_phase(reqs, aggs, 16_MiB, 1_MiB);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].domain_begin, 1_GiB);
+  EXPECT_EQ(plans[0].rounds[0].begin, 1_GiB);
+}
+
+TEST(PlanTwoPhase, RequiresAggregatorsAndBuffer) {
+  const auto reqs = dense_requests(2, 1_MiB);
+  EXPECT_THROW(plan_two_phase(reqs, {}, 1_MiB, 0), UsageError);
+  const std::vector<int> aggs{0};
+  EXPECT_THROW(plan_two_phase(reqs, aggs, 0, 0), UsageError);
+}
+
+// Property sweep over rank counts / buffer sizes: conservation and
+// domain-disjointness must hold for any configuration.
+class PlanProperty
+    : public ::testing::TestWithParam<std::tuple<int, Bytes, Bytes>> {};
+
+TEST_P(PlanProperty, ConservationAndDisjointness) {
+  const auto [nranks, cb, align] = GetParam();
+  // Strided, hole-y pattern.
+  std::vector<IoRequest> reqs;
+  for (int r = 0; r < nranks; ++r) {
+    reqs.push_back({r, static_cast<Bytes>(r) * 3_MiB, 2_MiB});
+  }
+  const std::vector<int> aggs{0, nranks / 2};
+  const auto plans = plan_two_phase(reqs, aggs, cb, align);
+  Bytes total = 0;
+  Bytes prev_end = 0;
+  for (const auto& p : plans) {
+    EXPECT_GE(p.domain_begin, prev_end);  // domains are disjoint & ordered
+    prev_end = p.domain_end;
+    Bytes round_prev_end = p.domain_begin;
+    for (const auto& r : p.rounds) {
+      EXPECT_GE(r.begin, round_prev_end);
+      round_prev_end = r.end;
+      total += r.present_bytes;
+      EXPECT_LE(r.present_bytes, cb);
+    }
+  }
+  EXPECT_EQ(total, static_cast<Bytes>(nranks) * 2_MiB);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanProperty,
+    ::testing::Combine(::testing::Values(2, 5, 16, 64),
+                       ::testing::Values(Bytes{1_MiB}, Bytes{16_MiB}),
+                       ::testing::Values(Bytes{0}, Bytes{1_MiB}, Bytes{128_MiB})));
+
+}  // namespace
+}  // namespace pfsc::mpiio
