@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_plfs_readback.dir/ext_plfs_readback.cpp.o"
+  "CMakeFiles/ext_plfs_readback.dir/ext_plfs_readback.cpp.o.d"
+  "ext_plfs_readback"
+  "ext_plfs_readback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_plfs_readback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_single_ost_contention.dir/fig2_single_ost_contention.cpp.o"
+  "CMakeFiles/fig2_single_ost_contention.dir/fig2_single_ost_contention.cpp.o.d"
+  "fig2_single_ost_contention"
+  "fig2_single_ost_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_single_ost_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_four_tasks.dir/fig3_four_tasks.cpp.o"
+  "CMakeFiles/fig3_four_tasks.dir/fig3_four_tasks.cpp.o.d"
+  "fig3_four_tasks"
+  "fig3_four_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_four_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_table5_stripe_reduction.dir/fig4_table5_stripe_reduction.cpp.o"
+  "CMakeFiles/fig4_table5_stripe_reduction.dir/fig4_table5_stripe_reduction.cpp.o.d"
+  "fig4_table5_stripe_reduction"
+  "fig4_table5_stripe_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_table5_stripe_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

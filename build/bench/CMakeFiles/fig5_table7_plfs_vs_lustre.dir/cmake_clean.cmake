@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_table7_plfs_vs_lustre.dir/fig5_table7_plfs_vs_lustre.cpp.o"
+  "CMakeFiles/fig5_table7_plfs_vs_lustre.dir/fig5_table7_plfs_vs_lustre.cpp.o.d"
+  "fig5_table7_plfs_vs_lustre"
+  "fig5_table7_plfs_vs_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_table7_plfs_vs_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

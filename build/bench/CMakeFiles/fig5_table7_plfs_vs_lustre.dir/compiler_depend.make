@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_table7_plfs_vs_lustre.
+# This may be replaced when dependencies are built.

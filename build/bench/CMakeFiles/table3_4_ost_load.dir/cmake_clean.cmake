@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_4_ost_load.dir/table3_4_ost_load.cpp.o"
+  "CMakeFiles/table3_4_ost_load.dir/table3_4_ost_load.cpp.o.d"
+  "table3_4_ost_load"
+  "table3_4_ost_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_4_ost_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_stampede.dir/table6_stampede.cpp.o"
+  "CMakeFiles/table6_stampede.dir/table6_stampede.cpp.o.d"
+  "table6_stampede"
+  "table6_stampede.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_stampede.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

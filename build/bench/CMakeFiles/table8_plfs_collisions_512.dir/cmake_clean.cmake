@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_plfs_collisions_512.dir/table8_plfs_collisions_512.cpp.o"
+  "CMakeFiles/table8_plfs_collisions_512.dir/table8_plfs_collisions_512.cpp.o.d"
+  "table8_plfs_collisions_512"
+  "table8_plfs_collisions_512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_plfs_collisions_512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table8_plfs_collisions_512.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table8_plfs_collisions_512.
+# This may be replaced when dependencies are built.

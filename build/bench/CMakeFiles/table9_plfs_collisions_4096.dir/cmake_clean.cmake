@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_plfs_collisions_4096.dir/table9_plfs_collisions_4096.cpp.o"
+  "CMakeFiles/table9_plfs_collisions_4096.dir/table9_plfs_collisions_4096.cpp.o.d"
+  "table9_plfs_collisions_4096"
+  "table9_plfs_collisions_4096.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_plfs_collisions_4096.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table9_plfs_collisions_4096.
+# This may be replaced when dependencies are built.

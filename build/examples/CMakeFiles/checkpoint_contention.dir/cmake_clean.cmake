@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_contention.dir/checkpoint_contention.cpp.o"
+  "CMakeFiles/checkpoint_contention.dir/checkpoint_contention.cpp.o.d"
+  "checkpoint_contention"
+  "checkpoint_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

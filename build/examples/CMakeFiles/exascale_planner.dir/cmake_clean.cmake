@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exascale_planner.dir/exascale_planner.cpp.o"
+  "CMakeFiles/exascale_planner.dir/exascale_planner.cpp.o.d"
+  "exascale_planner"
+  "exascale_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exascale_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

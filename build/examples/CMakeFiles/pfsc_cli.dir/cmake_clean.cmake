@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_cli.dir/pfsc_cli.cpp.o"
+  "CMakeFiles/pfsc_cli.dir/pfsc_cli.cpp.o.d"
+  "pfsc_cli"
+  "pfsc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

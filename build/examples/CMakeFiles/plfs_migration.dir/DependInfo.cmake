@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/plfs_migration.cpp" "examples/CMakeFiles/plfs_migration.dir/plfs_migration.cpp.o" "gcc" "examples/CMakeFiles/plfs_migration.dir/plfs_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pfsc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pfsc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pfsc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pfsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ior/CMakeFiles/pfsc_ior.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/pfsc_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/pfsc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/pfsc_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/pfsc_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pfsc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pfsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfs_migration.dir/plfs_migration.cpp.o"
+  "CMakeFiles/plfs_migration.dir/plfs_migration.cpp.o.d"
+  "plfs_migration"
+  "plfs_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfs_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

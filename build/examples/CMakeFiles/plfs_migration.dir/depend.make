@@ -1,0 +1,2 @@
+# Empty dependencies file for plfs_migration.
+# This may be replaced when dependencies are built.

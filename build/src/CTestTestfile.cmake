@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("hw")
+subdirs("lustre")
+subdirs("mpi")
+subdirs("mpiio")
+subdirs("plfs")
+subdirs("ior")
+subdirs("core")
+subdirs("harness")
+subdirs("trace")
+subdirs("apps")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/checkpoint.cpp" "src/apps/CMakeFiles/pfsc_apps.dir/checkpoint.cpp.o" "gcc" "src/apps/CMakeFiles/pfsc_apps.dir/checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpiio/CMakeFiles/pfsc_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/pfsc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/pfsc_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/pfsc_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pfsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pfsc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_apps.dir/checkpoint.cpp.o"
+  "CMakeFiles/pfsc_apps.dir/checkpoint.cpp.o.d"
+  "libpfsc_apps.a"
+  "libpfsc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_core.dir/fs_report.cpp.o"
+  "CMakeFiles/pfsc_core.dir/fs_report.cpp.o.d"
+  "CMakeFiles/pfsc_core.dir/metrics.cpp.o"
+  "CMakeFiles/pfsc_core.dir/metrics.cpp.o.d"
+  "libpfsc_core.a"
+  "libpfsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_harness.dir/experiments.cpp.o"
+  "CMakeFiles/pfsc_harness.dir/experiments.cpp.o.d"
+  "libpfsc_harness.a"
+  "libpfsc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

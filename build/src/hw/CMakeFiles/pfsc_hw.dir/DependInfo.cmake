@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/disk.cpp" "src/hw/CMakeFiles/pfsc_hw.dir/disk.cpp.o" "gcc" "src/hw/CMakeFiles/pfsc_hw.dir/disk.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/hw/CMakeFiles/pfsc_hw.dir/platform.cpp.o" "gcc" "src/hw/CMakeFiles/pfsc_hw.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pfsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

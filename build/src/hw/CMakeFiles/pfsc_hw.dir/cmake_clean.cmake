@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_hw.dir/disk.cpp.o"
+  "CMakeFiles/pfsc_hw.dir/disk.cpp.o.d"
+  "CMakeFiles/pfsc_hw.dir/platform.cpp.o"
+  "CMakeFiles/pfsc_hw.dir/platform.cpp.o.d"
+  "libpfsc_hw.a"
+  "libpfsc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

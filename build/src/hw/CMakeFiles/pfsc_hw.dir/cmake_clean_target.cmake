@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfsc_hw.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_ior.dir/ior.cpp.o"
+  "CMakeFiles/pfsc_ior.dir/ior.cpp.o.d"
+  "CMakeFiles/pfsc_ior.dir/probe.cpp.o"
+  "CMakeFiles/pfsc_ior.dir/probe.cpp.o.d"
+  "libpfsc_ior.a"
+  "libpfsc_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

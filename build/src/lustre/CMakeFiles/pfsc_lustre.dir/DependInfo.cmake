@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lustre/client.cpp" "src/lustre/CMakeFiles/pfsc_lustre.dir/client.cpp.o" "gcc" "src/lustre/CMakeFiles/pfsc_lustre.dir/client.cpp.o.d"
+  "/root/repo/src/lustre/errors.cpp" "src/lustre/CMakeFiles/pfsc_lustre.dir/errors.cpp.o" "gcc" "src/lustre/CMakeFiles/pfsc_lustre.dir/errors.cpp.o.d"
+  "/root/repo/src/lustre/extent_map.cpp" "src/lustre/CMakeFiles/pfsc_lustre.dir/extent_map.cpp.o" "gcc" "src/lustre/CMakeFiles/pfsc_lustre.dir/extent_map.cpp.o.d"
+  "/root/repo/src/lustre/fs.cpp" "src/lustre/CMakeFiles/pfsc_lustre.dir/fs.cpp.o" "gcc" "src/lustre/CMakeFiles/pfsc_lustre.dir/fs.cpp.o.d"
+  "/root/repo/src/lustre/layout.cpp" "src/lustre/CMakeFiles/pfsc_lustre.dir/layout.cpp.o" "gcc" "src/lustre/CMakeFiles/pfsc_lustre.dir/layout.cpp.o.d"
+  "/root/repo/src/lustre/lfs.cpp" "src/lustre/CMakeFiles/pfsc_lustre.dir/lfs.cpp.o" "gcc" "src/lustre/CMakeFiles/pfsc_lustre.dir/lfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pfsc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pfsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_lustre.dir/client.cpp.o"
+  "CMakeFiles/pfsc_lustre.dir/client.cpp.o.d"
+  "CMakeFiles/pfsc_lustre.dir/errors.cpp.o"
+  "CMakeFiles/pfsc_lustre.dir/errors.cpp.o.d"
+  "CMakeFiles/pfsc_lustre.dir/extent_map.cpp.o"
+  "CMakeFiles/pfsc_lustre.dir/extent_map.cpp.o.d"
+  "CMakeFiles/pfsc_lustre.dir/fs.cpp.o"
+  "CMakeFiles/pfsc_lustre.dir/fs.cpp.o.d"
+  "CMakeFiles/pfsc_lustre.dir/layout.cpp.o"
+  "CMakeFiles/pfsc_lustre.dir/layout.cpp.o.d"
+  "CMakeFiles/pfsc_lustre.dir/lfs.cpp.o"
+  "CMakeFiles/pfsc_lustre.dir/lfs.cpp.o.d"
+  "libpfsc_lustre.a"
+  "libpfsc_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

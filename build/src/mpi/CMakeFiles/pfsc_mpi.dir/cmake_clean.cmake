@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_mpi.dir/comm.cpp.o"
+  "CMakeFiles/pfsc_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/pfsc_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/pfsc_mpi.dir/runtime.cpp.o.d"
+  "libpfsc_mpi.a"
+  "libpfsc_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpiio/adio.cpp" "src/mpiio/CMakeFiles/pfsc_mpiio.dir/adio.cpp.o" "gcc" "src/mpiio/CMakeFiles/pfsc_mpiio.dir/adio.cpp.o.d"
+  "/root/repo/src/mpiio/file.cpp" "src/mpiio/CMakeFiles/pfsc_mpiio.dir/file.cpp.o" "gcc" "src/mpiio/CMakeFiles/pfsc_mpiio.dir/file.cpp.o.d"
+  "/root/repo/src/mpiio/info.cpp" "src/mpiio/CMakeFiles/pfsc_mpiio.dir/info.cpp.o" "gcc" "src/mpiio/CMakeFiles/pfsc_mpiio.dir/info.cpp.o.d"
+  "/root/repo/src/mpiio/two_phase.cpp" "src/mpiio/CMakeFiles/pfsc_mpiio.dir/two_phase.cpp.o" "gcc" "src/mpiio/CMakeFiles/pfsc_mpiio.dir/two_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/pfsc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/pfsc_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/pfsc_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pfsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pfsc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

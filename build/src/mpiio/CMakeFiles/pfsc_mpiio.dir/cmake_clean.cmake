@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_mpiio.dir/adio.cpp.o"
+  "CMakeFiles/pfsc_mpiio.dir/adio.cpp.o.d"
+  "CMakeFiles/pfsc_mpiio.dir/file.cpp.o"
+  "CMakeFiles/pfsc_mpiio.dir/file.cpp.o.d"
+  "CMakeFiles/pfsc_mpiio.dir/info.cpp.o"
+  "CMakeFiles/pfsc_mpiio.dir/info.cpp.o.d"
+  "CMakeFiles/pfsc_mpiio.dir/two_phase.cpp.o"
+  "CMakeFiles/pfsc_mpiio.dir/two_phase.cpp.o.d"
+  "libpfsc_mpiio.a"
+  "libpfsc_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pfsc_mpiio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_plfs.dir/plfs.cpp.o"
+  "CMakeFiles/pfsc_plfs.dir/plfs.cpp.o.d"
+  "libpfsc_plfs.a"
+  "libpfsc_plfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_plfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

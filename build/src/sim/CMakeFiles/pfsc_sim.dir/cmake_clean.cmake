@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_sim.dir/engine.cpp.o"
+  "CMakeFiles/pfsc_sim.dir/engine.cpp.o.d"
+  "libpfsc_sim.a"
+  "libpfsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

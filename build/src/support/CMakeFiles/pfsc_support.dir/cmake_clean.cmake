@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_support.dir/rng.cpp.o"
+  "CMakeFiles/pfsc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pfsc_support.dir/stats.cpp.o"
+  "CMakeFiles/pfsc_support.dir/stats.cpp.o.d"
+  "CMakeFiles/pfsc_support.dir/table.cpp.o"
+  "CMakeFiles/pfsc_support.dir/table.cpp.o.d"
+  "CMakeFiles/pfsc_support.dir/units.cpp.o"
+  "CMakeFiles/pfsc_support.dir/units.cpp.o.d"
+  "libpfsc_support.a"
+  "libpfsc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

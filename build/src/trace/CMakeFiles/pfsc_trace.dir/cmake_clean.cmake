@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsc_trace.dir/telemetry.cpp.o"
+  "CMakeFiles/pfsc_trace.dir/telemetry.cpp.o.d"
+  "libpfsc_trace.a"
+  "libpfsc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pfsc_trace.
+# This may be replaced when dependencies are built.

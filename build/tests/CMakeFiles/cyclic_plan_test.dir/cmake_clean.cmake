@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_plan_test.dir/cyclic_plan_test.cpp.o"
+  "CMakeFiles/cyclic_plan_test.dir/cyclic_plan_test.cpp.o.d"
+  "cyclic_plan_test"
+  "cyclic_plan_test.pdb"
+  "cyclic_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

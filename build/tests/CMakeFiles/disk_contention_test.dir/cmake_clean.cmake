@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_contention_test.dir/disk_contention_test.cpp.o"
+  "CMakeFiles/disk_contention_test.dir/disk_contention_test.cpp.o.d"
+  "disk_contention_test"
+  "disk_contention_test.pdb"
+  "disk_contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hints_info_test.dir/hints_info_test.cpp.o"
+  "CMakeFiles/hints_info_test.dir/hints_info_test.cpp.o.d"
+  "hints_info_test"
+  "hints_info_test.pdb"
+  "hints_info_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hints_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ior_modes_test.dir/ior_modes_test.cpp.o"
+  "CMakeFiles/ior_modes_test.dir/ior_modes_test.cpp.o.d"
+  "ior_modes_test"
+  "ior_modes_test.pdb"
+  "ior_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ior_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misuse_test.dir/misuse_test.cpp.o"
+  "CMakeFiles/misuse_test.dir/misuse_test.cpp.o.d"
+  "misuse_test"
+  "misuse_test.pdb"
+  "misuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_edge_test.dir/mpiio_edge_test.cpp.o"
+  "CMakeFiles/mpiio_edge_test.dir/mpiio_edge_test.cpp.o.d"
+  "mpiio_edge_test"
+  "mpiio_edge_test.pdb"
+  "mpiio_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_file_test.dir/mpiio_file_test.cpp.o"
+  "CMakeFiles/mpiio_file_test.dir/mpiio_file_test.cpp.o.d"
+  "mpiio_file_test"
+  "mpiio_file_test.pdb"
+  "mpiio_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

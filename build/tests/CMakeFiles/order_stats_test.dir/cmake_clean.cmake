@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_stats_test.dir/order_stats_test.cpp.o"
+  "CMakeFiles/order_stats_test.dir/order_stats_test.cpp.o.d"
+  "order_stats_test"
+  "order_stats_test.pdb"
+  "order_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfs_rm_test.dir/plfs_rm_test.cpp.o"
+  "CMakeFiles/plfs_rm_test.dir/plfs_rm_test.cpp.o.d"
+  "plfs_rm_test"
+  "plfs_rm_test.pdb"
+  "plfs_rm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfs_rm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pools_test.dir/pools_test.cpp.o"
+  "CMakeFiles/pools_test.dir/pools_test.cpp.o.d"
+  "pools_test"
+  "pools_test.pdb"
+  "pools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_property_test.dir/prediction_property_test.cpp.o"
+  "CMakeFiles/prediction_property_test.dir/prediction_property_test.cpp.o.d"
+  "prediction_property_test"
+  "prediction_property_test.pdb"
+  "prediction_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
