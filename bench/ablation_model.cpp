@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "harness/experiments.hpp"
+#include "harness/scenario.hpp"
 
 using namespace pfsc;
 
@@ -51,14 +51,14 @@ void ablation_alloc_policy() {
 }
 
 double tuned_run(bool collective_buffering, Bytes dirty_window) {
-  harness::IorRunSpec spec;
+  harness::Scenario spec;
   spec.nprocs = 256;
   spec.ior.hints.driver = mpiio::Driver::ad_lustre;
   spec.ior.hints.striping_factor = 160;
   spec.ior.hints.striping_unit = 128_MiB;
   spec.ior.hints.romio_cb_write = collective_buffering;
   spec.ior.hints.dirty_window = dirty_window;
-  const auto res = harness::run_single_ior(spec, 21);
+  const auto res = harness::run_scenario(spec, 21).ior;
   PFSC_ASSERT(res.err == lustre::Errno::ok);
   return res.write_mbps;
 }
@@ -85,11 +85,12 @@ void ablation_write_behind() {
 void ablation_elevator_batch() {
   std::printf("D. Elevator batch (one OST, 8 contending writers)\n");
   for (std::uint32_t batch : {1u, 8u}) {
-    harness::ProbeSpec spec;
+    harness::Scenario spec;
+    spec.workload = harness::Workload::probe;
     spec.writers = 8;
     spec.bytes_per_writer = 32_MiB;
     spec.platform.ost_disk.batch = batch;
-    const auto res = harness::run_probe_experiment(spec, 31);
+    const auto res = harness::run_scenario(spec, 31).probe;
     std::printf("   batch %u: per-process %6.1f MB/s\n", batch, res.mean_mbps);
   }
   std::printf("   -> batching amortises stream-switch seeks; real block\n"
@@ -99,17 +100,18 @@ void ablation_elevator_batch() {
 void ablation_contention_amplification() {
   std::printf("E. Contention amplification (PLFS at 2048 procs)\n");
   for (bool amplified : {true, false}) {
-    harness::IorRunSpec spec;
+    harness::Scenario spec;
+    spec.workload = harness::Workload::plfs;
     spec.nprocs = 2048;
     spec.ior.hints.driver = mpiio::Driver::ad_plfs;
     if (!amplified) {
       spec.platform.ost_disk.contention_alpha = 0.0;
       spec.platform.ost_disk.contention_quad_alpha = 0.0;
     }
-    const auto res = harness::run_plfs_ior(spec, 41);
+    const auto res = harness::run_scenario(spec, 41);
     std::printf("   amplification %-3s: %8.0f MB/s (backend load %.2f)\n",
                 amplified ? "on" : "off", res.ior.write_mbps,
-                res.backend.d_load);
+                res.contention.d_load);
   }
   std::printf("   -> without the hot-stream seek amplification the PLFS\n"
               "      collapse of Table VII cannot be reproduced: plain seek\n"
@@ -119,7 +121,7 @@ void ablation_contention_amplification() {
 void ablation_data_sieving() {
   std::printf("F. Data sieving (independent strided reads, 64 procs)\n");
   for (bool ds : {true, false}) {
-    harness::IorRunSpec spec;
+    harness::Scenario spec;
     spec.nprocs = 64;
     spec.ior.read_file = true;
     spec.ior.use_collective = false;
@@ -128,7 +130,7 @@ void ablation_data_sieving() {
     spec.ior.hints.striping_factor = 64;
     spec.ior.hints.striping_unit = 1_MiB;
     spec.ior.hints.romio_ds_read = ds;
-    const auto res = harness::run_single_ior(spec, 51);
+    const auto res = harness::run_scenario(spec, 51).ior;
     PFSC_ASSERT(res.err == lustre::Errno::ok);
     std::printf("   sieving %-3s: read %8.0f MB/s\n", ds ? "on" : "off",
                 res.read_mbps);
@@ -142,14 +144,14 @@ void ablation_data_sieving() {
 void ablation_noise() {
   std::printf("G. Background noise (tuned 256-proc write on a busy system)\n");
   for (unsigned writers : {0u, 8u, 32u}) {
-    harness::IorRunSpec spec;
+    harness::Scenario spec;
     spec.nprocs = 256;
     spec.ior.hints.driver = mpiio::Driver::ad_lustre;
     spec.ior.hints.striping_factor = 160;
     spec.ior.hints.striping_unit = 128_MiB;
     spec.noise.writers = writers;
     spec.noise.bytes_per_writer = 512_MiB;
-    const auto res = harness::run_single_ior(spec, 61);
+    const auto res = harness::run_scenario(spec, 61).ior;
     std::printf("   %2u background writers: %8.0f MB/s\n", writers,
                 res.write_mbps);
   }

@@ -5,9 +5,11 @@
 // comparison can be read (and scraped into EXPERIMENTS.md) directly.
 //
 // Environment knobs:
-//   PFSC_REPS  — override the repetition count (default: per-bench, usually
-//                the paper's five).
-//   PFSC_QUICK — if set, run a single repetition of each point (CI smoke).
+//   PFSC_REPS    — override the repetition count (default: per-bench, usually
+//                  the paper's five).
+//   PFSC_QUICK   — if set, run a single repetition of each point (CI smoke).
+//   PFSC_THREADS — worker threads for the sweep runner (default: hardware
+//                  concurrency). Results are identical for any value.
 #pragma once
 
 #include <cstdio>
@@ -26,6 +28,17 @@ inline unsigned repetitions(unsigned default_reps) {
     if (v >= 1) return static_cast<unsigned>(v);
   }
   return default_reps;
+}
+
+/// Thread count for ParallelRunner: PFSC_THREADS, else 0 (hardware
+/// concurrency). The runner's output is thread-count-invariant, so this is
+/// purely a wall-clock knob.
+inline unsigned threads() {
+  if (const char* env = std::getenv("PFSC_THREADS"); env && *env) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<unsigned>(v);
+  }
+  return 0;
 }
 
 inline void banner(const std::string& id, const std::string& what) {

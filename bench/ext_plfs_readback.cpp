@@ -10,63 +10,81 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "harness/experiments.hpp"
+#include "harness/runner.hpp"
 
 int main() {
   using namespace pfsc;
   bench::banner("Extension: PLFS read-back",
                 "write + read-back bandwidth, ad_lustre vs ad_plfs");
   const unsigned reps = bench::repetitions(3);
-  std::printf("repetitions per point: %u\n\n", reps);
+  const harness::ParallelRunner runner(bench::threads());
+  std::printf("repetitions per point: %u, worker threads: %u\n\n", reps,
+              runner.threads());
+
+  harness::Scenario base;
+  base.ior.read_file = true;
+  base.ior.segment_count = 25;  // keep read phases brisk
+
+  harness::RunPlan plan;
+  plan.sweep_nprocs({64, 256, 1024});
+  harness::Axis driver_axis;
+  driver_axis.name = "driver";
+  driver_axis.values = {0, 1};
+  driver_axis.apply = [](harness::Scenario& s, double v) {
+    if (v == 0) {
+      s.workload = harness::Workload::ior;
+      s.ior.hints.driver = mpiio::Driver::ad_lustre;
+      s.ior.hints.striping_factor = 160;
+      s.ior.hints.striping_unit = 128_MiB;
+    } else {
+      s.workload = harness::Workload::plfs;
+      s.ior.hints = mpiio::Hints{};
+      s.ior.hints.driver = mpiio::Driver::ad_plfs;
+    }
+  };
+  driver_axis.label = [](double v) {
+    return v == 0 ? std::string("lustre") : std::string("plfs");
+  };
+  plan.sweep(std::move(driver_axis));
+  // Axes apply in declaration order, so nprocs is set by the time the
+  // reorder axis computes its shift.
+  plan.sweep("reorder", {0, 1}, [](harness::Scenario& s, double v) {
+    s.ior.reorder_tasks = v != 0 ? s.nprocs / 2 : 0;
+  });
+  plan.repetitions(reps).base_seed(0xEEAD);
+  const auto set = runner.run(base, plan);
 
   TextTable table({"procs", "driver", "write MB/s", "read MB/s",
                    "read (reordered) MB/s"});
   FigureSeries fig("procs", {"lustre read", "plfs read"});
-  for (int procs : {64, 256, 1024}) {
+  const double procs_values[] = {64, 256, 1024};
+  for (std::size_t p = 0; p < 3; ++p) {
     double read_by_driver[2] = {0.0, 0.0};
-    int idx = 0;
-    for (auto driver : {mpiio::Driver::ad_lustre, mpiio::Driver::ad_plfs}) {
+    for (std::size_t d = 0; d < 2; ++d) {
+      const auto& plain = set.point((p * 2 + d) * 2 + 0);
+      const auto& reordered = set.point((p * 2 + d) * 2 + 1);
       RunningStats write_bw;
       RunningStats read_bw;
       RunningStats reread_bw;
-      Rng seeder(0xEEADull ^ static_cast<std::uint64_t>(procs));
-      for (unsigned rep = 0; rep < reps; ++rep) {
-        for (bool reorder : {false, true}) {
-          harness::IorRunSpec spec;
-          spec.nprocs = procs;
-          spec.ior.read_file = true;
-          spec.ior.segment_count = 25;  // keep read phases brisk
-          spec.ior.reorder_tasks = reorder ? procs / 2 : 0;
-          spec.ior.hints.driver = driver;
-          if (driver == mpiio::Driver::ad_lustre) {
-            spec.ior.hints.striping_factor = 160;
-            spec.ior.hints.striping_unit = 128_MiB;
-          }
-          const auto res =
-              driver == mpiio::Driver::ad_plfs
-                  ? harness::run_plfs_ior(spec, seeder.next_u64()).ior
-                  : harness::run_single_ior(spec, seeder.next_u64());
-          PFSC_ASSERT(res.err == lustre::Errno::ok);
-          if (!reorder) {
-            write_bw.add(res.write_mbps);
-            read_bw.add(res.read_mbps);
-          } else {
-            reread_bw.add(res.read_mbps);
-          }
-        }
+      for (const auto& obs : plain.reps) {
+        PFSC_ASSERT(obs.ior.err == lustre::Errno::ok);
+        write_bw.add(obs.ior.write_mbps);
+        read_bw.add(obs.ior.read_mbps);
       }
-      table.cell(fmt_int(procs))
-          .cell(mpiio::driver_name(driver))
+      for (const auto& obs : reordered.reps) {
+        PFSC_ASSERT(obs.ior.err == lustre::Errno::ok);
+        reread_bw.add(obs.ior.read_mbps);
+      }
+      table.cell(fmt_int(static_cast<long long>(procs_values[p])))
+          .cell(d == 0 ? "ad_lustre" : "ad_plfs")
           .cell(fmt_double(write_bw.mean(), 0))
           .cell(fmt_double(read_bw.mean(), 0))
           .cell(fmt_double(reread_bw.mean(), 0));
       table.end_row();
-      read_by_driver[idx++] = read_bw.mean();
+      read_by_driver[d] = read_bw.mean();
     }
-    fig.add_point(procs, {read_by_driver[0], read_by_driver[1]});
-    std::printf("procs=%d done\n", procs);
+    fig.add_point(procs_values[p], {read_by_driver[0], read_by_driver[1]});
   }
-  std::printf("\n");
   table.print("Write + read-back bandwidth");
   fig.print("Read-back series");
 

@@ -9,51 +9,50 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "harness/experiments.hpp"
+#include "harness/runner.hpp"
 
 int main() {
   using namespace pfsc;
   bench::banner("Figure 2", "Per-process bandwidth on one contended OST");
   const unsigned reps = bench::repetitions(5);
-  std::printf("repetitions per point: %u\n\n", reps);
+  const harness::ParallelRunner runner(bench::threads());
+  std::printf("repetitions per point: %u, worker threads: %u\n\n", reps,
+              runner.threads());
 
-  auto probe_mean = [&](std::uint32_t writers) {
-    std::vector<double> samples;
-    Rng seeder(0xF2'0000 + writers);
-    for (unsigned i = 0; i < reps; ++i) {
-      harness::ProbeSpec spec;
-      spec.writers = writers;
-      spec.bytes_per_writer = 64_MiB;
-      // lscratchc is a shared-user system: light random background load
-      // gives the single-writer runs the natural variance the paper's
-      // ideal band is built from.
-      spec.noise.writers = 12;
-      spec.noise.bytes_per_writer = 256_MiB;
-      spec.noise.stripes = 8;
-      samples.push_back(
-          harness::run_probe_experiment(spec, seeder.next_u64()).mean_mbps);
-    }
-    return confidence_interval(samples);
-  };
+  harness::Scenario probe;
+  probe.workload = harness::Workload::probe;
+  probe.bytes_per_writer = 64_MiB;
+  // lscratchc is a shared-user system: light random background load gives
+  // the single-writer runs the natural variance the paper's ideal band is
+  // built from.
+  probe.noise.writers = 12;
+  probe.noise.bytes_per_writer = 256_MiB;
+  probe.noise.stripes = 8;
 
-  const auto solo = probe_mean(1);
+  std::vector<double> writer_counts;
+  for (std::uint32_t n = 1; n <= 16; ++n) writer_counts.push_back(n);
+  harness::RunPlan plan;
+  plan.sweep_writers(writer_counts).repetitions(reps).base_seed(0xF2'0000);
+  const auto set = runner.run(probe, plan);
+
+  const ConfidenceInterval solo = set.point(0).ci;
   std::printf("Single writer: %s MB/s — the ideal band below is this CI / n\n\n",
               bench::fmt_ci(solo, 1).c_str());
 
   TextTable table({"writers", "ideal lower", "ideal upper", "measured",
                    "vs ideal mid"});
   FigureSeries fig("writers", {"measured", "ideal-lo", "ideal-hi"});
-  for (std::uint32_t n = 1; n <= 16; ++n) {
-    const auto ci = probe_mean(n);
+  for (const auto& point : set.points()) {
+    const double n = point.coords[0];
     const double lo = solo.lower / n;
     const double hi = solo.upper / n;
-    table.cell(fmt_int(n))
+    table.cell(fmt_int(static_cast<long long>(n)))
         .cell(fmt_double(lo, 1))
         .cell(fmt_double(hi, 1))
-        .cell(fmt_double(ci.mean, 1))
-        .cell(fmt_double(ci.mean / ((lo + hi) / 2.0) * 100.0, 0) + "%");
+        .cell(fmt_double(point.ci.mean, 1))
+        .cell(fmt_double(point.ci.mean / ((lo + hi) / 2.0) * 100.0, 0) + "%");
     table.end_row();
-    fig.add_point(n, {ci.mean, lo, hi});
+    fig.add_point(n, {point.ci.mean, lo, hi});
   }
   table.print("Per-process bandwidth (MB/s) vs contended writers on one OST");
   fig.print("Figure 2 series");

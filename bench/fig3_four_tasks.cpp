@@ -5,45 +5,46 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "harness/experiments.hpp"
+#include "harness/runner.hpp"
 
 int main() {
   using namespace pfsc;
   bench::banner("Figure 3", "Four contending tuned IOR tasks, five repetitions");
   const unsigned reps = bench::repetitions(5);
+  const harness::ParallelRunner runner(bench::threads());
 
   // Solo reference for the reduction factor.
-  harness::IorRunSpec solo_spec;
+  harness::Scenario solo_spec;
   solo_spec.ior.hints.driver = mpiio::Driver::ad_lustre;
   solo_spec.ior.hints.striping_factor = 160;
   solo_spec.ior.hints.striping_unit = 128_MiB;
-  const double solo = harness::run_single_ior(solo_spec, 0xF3).write_mbps;
+  const double solo = harness::run_scenario(solo_spec, 0xF3).ior.write_mbps;
   std::printf("Solo tuned job: %.0f MB/s (paper: 15,609 MB/s)\n\n", solo);
+
+  harness::Scenario multi = solo_spec;
+  multi.workload = harness::Workload::multi;
+  multi.jobs = 4;
+  multi.nprocs = 1024;
+  harness::RunPlan plan;
+  plan.repetitions(reps).base_seed(0xF3F3);
+  const auto set = runner.run(multi, plan);
 
   TextTable table({"repetition", "task 1", "task 2", "task 3", "task 4",
                    "mean", "total"});
   RunningStats all_tasks;
-  Rng seeder(0xF3F3);
-  for (unsigned rep = 1; rep <= reps; ++rep) {
-    harness::MultiJobSpec spec;
-    spec.jobs = 4;
-    spec.procs_per_job = 1024;
-    spec.ior.hints.driver = mpiio::Driver::ad_lustre;
-    spec.ior.hints.striping_factor = 160;
-    spec.ior.hints.striping_unit = 128_MiB;
-    const auto res = harness::run_multi_ior(spec, seeder.next_u64());
-    std::vector<std::string> row{fmt_int(rep)};
-    for (const auto& job : res.per_job) {
+  const auto& point = set.point(0);
+  for (std::size_t rep = 0; rep < point.reps.size(); ++rep) {
+    const auto& obs = point.reps[rep];
+    std::vector<std::string> row{fmt_int(static_cast<long long>(rep + 1))};
+    for (const auto& job : obs.per_job) {
       PFSC_ASSERT(job.err == lustre::Errno::ok && job.verified);
       row.push_back(fmt_double(job.write_mbps, 0));
       all_tasks.add(job.write_mbps);
     }
-    row.push_back(fmt_double(res.mean_mbps, 0));
-    row.push_back(fmt_double(res.total_mbps, 0));
+    row.push_back(fmt_double(obs.metric, 0));
+    row.push_back(fmt_double(obs.total_mbps, 0));
     table.add_row(std::move(row));
-    std::printf("rep %u done\n", rep);
   }
-  std::printf("\n");
   table.print("Per-task write bandwidth (MB/s), four simultaneous tasks");
 
   std::printf("Mean per task: %.0f MB/s (paper: ~4,500 MB/s)\n", all_tasks.mean());

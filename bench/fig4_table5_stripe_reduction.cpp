@@ -11,14 +11,16 @@
 
 #include "bench/bench_util.hpp"
 #include "core/metrics.hpp"
-#include "harness/experiments.hpp"
+#include "harness/runner.hpp"
 
 int main() {
   using namespace pfsc;
   bench::banner("Table V / Figure 4",
                 "Four contending tasks vs per-job stripe request R");
   const unsigned reps = bench::repetitions(5);
-  std::printf("repetitions per point: %u\n\n", reps);
+  const harness::ParallelRunner runner(bench::threads());
+  std::printf("repetitions per point: %u, worker threads: %u\n\n", reps,
+              runner.threads());
 
   // Paper's Table V rows for side-by-side comparison.
   struct PaperRow {
@@ -34,6 +36,18 @@ int main() {
       {160, 4541.37, 191.8, 147.0, 41.8, 7.2, 385.19, 1.66, 387.80, 1.65},
   };
 
+  harness::Scenario multi;
+  multi.workload = harness::Workload::multi;
+  multi.jobs = 4;
+  multi.nprocs = 1024;
+  multi.ior.hints.driver = mpiio::Driver::ad_lustre;
+  multi.ior.hints.striping_unit = 128_MiB;
+  harness::RunPlan plan;
+  plan.sweep_striping_factor({32, 64, 96, 128, 160})
+      .repetitions(reps)
+      .base_seed(0x7AB5);
+  const auto set = runner.run(multi, plan);
+
   TextTable table({"R", "avg BW", "avg BW(paper)", "total BW", "use1", "use2",
                    "use3", "use4", "Dinuse pred", "Dinuse meas",
                    "Dload pred", "Dload meas"});
@@ -41,36 +55,29 @@ int main() {
   double bw_at_160 = 0.0;
   double bw_at_64 = 0.0;
   double bw_at_32 = 0.0;
-  for (const auto& p : paper) {
-    RunningStats bw;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto& p = paper[i];
+    const auto& point = set.point(i);
     RunningStats inuse;
     RunningStats load;
     std::vector<RunningStats> usage(5);
-    Rng seeder(0x7AB5'0000 + p.r);
-    for (unsigned rep = 0; rep < reps; ++rep) {
-      harness::MultiJobSpec spec;
-      spec.jobs = 4;
-      spec.procs_per_job = 1024;
-      spec.ior.hints.driver = mpiio::Driver::ad_lustre;
-      spec.ior.hints.striping_factor = p.r;
-      spec.ior.hints.striping_unit = 128_MiB;
-      const auto res = harness::run_multi_ior(spec, seeder.next_u64());
-      bw.add(res.mean_mbps);
-      inuse.add(res.contention.d_inuse);
-      load.add(res.contention.d_load);
+    for (const auto& obs : point.reps) {
+      inuse.add(obs.contention.d_inuse);
+      load.add(obs.contention.d_load);
       for (unsigned k = 1; k <= 4; ++k) {
-        const double v = k < res.contention.histogram.size()
-                             ? res.contention.histogram[k]
+        const double v = k < obs.contention.histogram.size()
+                             ? obs.contention.histogram[k]
                              : 0.0;
         usage[k].add(v);
       }
     }
+    const double bw = point.ci.mean;
     const double pred_inuse = core::d_inuse_uniform(p.r, 4, 480);
     const double pred_load = core::d_load(p.r, 4, 480);
     table.cell(fmt_int(p.r))
-        .cell(fmt_double(bw.mean(), 0))
+        .cell(fmt_double(bw, 0))
         .cell(fmt_double(p.avg_bw, 0))
-        .cell(fmt_double(bw.mean() * 4, 0))
+        .cell(fmt_double(bw * 4, 0))
         .cell(fmt_double(usage[1].mean(), 1))
         .cell(fmt_double(usage[2].mean(), 1))
         .cell(fmt_double(usage[3].mean(), 1))
@@ -80,13 +87,11 @@ int main() {
         .cell(fmt_double(pred_load, 2))
         .cell(fmt_double(load.mean(), 2));
     table.end_row();
-    fig.add_point(p.r, {bw.mean()});
-    if (p.r == 160) bw_at_160 = bw.mean();
-    if (p.r == 64) bw_at_64 = bw.mean();
-    if (p.r == 32) bw_at_32 = bw.mean();
-    std::printf("R=%u done\n", p.r);
+    fig.add_point(p.r, {bw});
+    if (p.r == 160) bw_at_160 = bw;
+    if (p.r == 64) bw_at_64 = bw;
+    if (p.r == 32) bw_at_32 = bw;
   }
-  std::printf("\n");
   table.print("Table V: four tasks, varying per-job stripe request");
   fig.print("Figure 4 series");
 

@@ -7,18 +7,24 @@
 // then collapses — by 4,096 ranks it is ~5x slower than tuned Lustre (and
 // slower than even untuned installations), because its n files x 2 stripes
 // self-contend the OSTs (Eq. 5-6 predict load 17.06).
+//
+// Seed design: SeedMode::per_rep pairs every plan point on the same random
+// draws (common random numbers), so each repetition compares Lustre and
+// PLFS on an identically-placed file system.
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/metrics.hpp"
-#include "harness/experiments.hpp"
+#include "harness/runner.hpp"
 
 int main() {
   using namespace pfsc;
   bench::banner("Figure 5 / Table VII", "IOR through ad_lustre vs ad_plfs, 16..4096 procs");
   const unsigned reps = bench::repetitions(5);
-  std::printf("repetitions per point: %u\n\n", reps);
+  const harness::ParallelRunner runner(bench::threads());
+  std::printf("repetitions per point: %u, worker threads: %u\n\n", reps,
+              runner.threads());
 
   struct PaperRow {
     int procs;
@@ -31,45 +37,60 @@ int main() {
       {1024, 13859.58, 8575.13}, {2048, 16200.16, 5696.41},
       {4096, 16917.11, 3069.05},
   };
+  std::vector<double> procs_values;
+  for (const auto& p : paper) procs_values.push_back(p.procs);
 
+  harness::Scenario base;
+  harness::RunPlan plan;
+  harness::Axis driver_axis;
+  driver_axis.name = "driver";
+  driver_axis.values = {0, 1};
+  driver_axis.apply = [](harness::Scenario& s, double v) {
+    if (v == 0) {  // tuned Lustre
+      s.workload = harness::Workload::ior;
+      s.ior.hints.driver = mpiio::Driver::ad_lustre;
+      s.ior.hints.striping_factor = 160;
+      s.ior.hints.striping_unit = 128_MiB;
+    } else {  // PLFS: backend files keep the file-system default layout
+      s.workload = harness::Workload::plfs;
+      s.ior.hints = mpiio::Hints{};
+      s.ior.hints.driver = mpiio::Driver::ad_plfs;
+    }
+  };
+  driver_axis.label = [](double v) {
+    return v == 0 ? std::string("lustre") : std::string("plfs");
+  };
+  plan.sweep(std::move(driver_axis))
+      .sweep_nprocs(procs_values)
+      .repetitions(reps)
+      .base_seed(0xF5'0000)
+      .seed_mode(harness::RunPlan::SeedMode::per_rep);
+  const auto set = runner.run(base, plan);
+
+  // Points expand driver-major (last axis fastest): lustre block first.
+  const std::size_t n = procs_values.size();
   TextTable table({"procs", "lustre MB/s (95% CI)", "paper", "plfs MB/s (95% CI)",
                    "paper ", "plfs load (Eq.6)"});
   FigureSeries fig("procs", {"lustre", "plfs"});
-  for (const auto& p : paper) {
-    std::vector<double> lustre_samples;
-    std::vector<double> plfs_samples;
-    Rng seeder(0xF5'0000 + static_cast<std::uint64_t>(p.procs));
-    for (unsigned rep = 0; rep < reps; ++rep) {
-      const std::uint64_t seed = seeder.next_u64();
-      harness::IorRunSpec lu;
-      lu.nprocs = p.procs;
-      lu.ior.hints.driver = mpiio::Driver::ad_lustre;
-      lu.ior.hints.striping_factor = 160;
-      lu.ior.hints.striping_unit = 128_MiB;
-      const auto rl = harness::run_single_ior(lu, seed);
-      PFSC_ASSERT(rl.err == lustre::Errno::ok && rl.verified);
-      lustre_samples.push_back(rl.write_mbps);
-
-      harness::IorRunSpec pl;
-      pl.nprocs = p.procs;
-      pl.ior.hints.driver = mpiio::Driver::ad_plfs;
-      const auto rp = harness::run_plfs_ior(pl, seed);
-      PFSC_ASSERT(rp.ior.err == lustre::Errno::ok && rp.ior.verified);
-      plfs_samples.push_back(rp.ior.write_mbps);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = paper[i];
+    const auto& lustre_pt = set.point(i);
+    const auto& plfs_pt = set.point(n + i);
+    for (const auto& obs : lustre_pt.reps) {
+      PFSC_ASSERT(obs.ior.err == lustre::Errno::ok && obs.ior.verified);
     }
-    const auto lustre_ci = confidence_interval(lustre_samples);
-    const auto plfs_ci = confidence_interval(plfs_samples);
+    for (const auto& obs : plfs_pt.reps) {
+      PFSC_ASSERT(obs.ior.err == lustre::Errno::ok && obs.ior.verified);
+    }
     table.cell(fmt_int(p.procs))
-        .cell(bench::fmt_ci(lustre_ci))
+        .cell(bench::fmt_ci(lustre_pt.ci))
         .cell(fmt_double(p.lustre, 0))
-        .cell(bench::fmt_ci(plfs_ci))
+        .cell(bench::fmt_ci(plfs_pt.ci))
         .cell(fmt_double(p.plfs, 0))
         .cell(fmt_double(core::plfs_d_load(static_cast<unsigned>(p.procs), 480), 2));
     table.end_row();
-    fig.add_point(p.procs, {lustre_ci.mean, plfs_ci.mean});
-    std::printf("procs=%d done\n", p.procs);
+    fig.add_point(p.procs, {lustre_pt.ci.mean, plfs_pt.ci.mean});
   }
-  std::printf("\n");
   table.print("Table VII: IOR write bandwidth through Lustre and PLFS");
   fig.print("Figure 5 series");
 

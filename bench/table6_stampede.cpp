@@ -6,7 +6,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/metrics.hpp"
-#include "harness/experiments.hpp"
+#include "harness/scenario.hpp"
 
 int main() {
   using namespace pfsc;
@@ -38,14 +38,15 @@ int main() {
 
   // Validation beyond the paper: simulate 3 contending VPIC-shaped jobs on
   // the Stampede-like platform and compare the measured census with Eq. 2/4.
-  harness::MultiJobSpec spec;
+  harness::Scenario spec;
+  spec.workload = harness::Workload::multi;
   spec.jobs = 3;
-  spec.procs_per_job = 256;
+  spec.nprocs = 256;
   spec.platform = hw::stampede_fs();
   spec.ior.hints.driver = mpiio::Driver::ad_lustre;
   spec.ior.hints.striping_factor = 128;
   spec.ior.hints.striping_unit = 1_MiB;
-  const auto res = harness::run_multi_ior(spec, 0x57A);
+  const auto res = harness::run_scenario(spec, 0x57A);
   std::printf("Simulated on stampede_fs (3 x 256-proc jobs, R=128):\n"
               "  measured Dinuse %.1f (Eq.2: %.2f)   measured Dload %.2f "
               "(Eq.4: %.2f)\n",

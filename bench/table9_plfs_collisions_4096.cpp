@@ -9,7 +9,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/metrics.hpp"
-#include "harness/experiments.hpp"
+#include "harness/runner.hpp"
 
 int main() {
   using namespace pfsc;
@@ -17,19 +17,22 @@ int main() {
   const unsigned reps = bench::repetitions(5);
   const int procs = 4096;
 
+  harness::Scenario spec;
+  spec.workload = harness::Workload::plfs;
+  spec.nprocs = procs;
+  spec.ior.hints.driver = mpiio::Driver::ad_plfs;
+  harness::RunPlan plan;
+  plan.repetitions(reps).base_seed(0x7AB9);
+  const auto set = harness::ParallelRunner(bench::threads()).run(spec, plan);
+
   std::vector<core::ObservedContention> obs;
   std::vector<double> bws;
-  Rng seeder(0x7AB9);
-  for (unsigned rep = 0; rep < reps; ++rep) {
-    harness::IorRunSpec spec;
-    spec.nprocs = procs;
-    spec.ior.hints.driver = mpiio::Driver::ad_plfs;
-    const auto res = harness::run_plfs_ior(spec, seeder.next_u64());
-    PFSC_ASSERT(res.ior.err == lustre::Errno::ok);
-    obs.push_back(res.backend);
-    bws.push_back(res.ior.write_mbps);
-    std::printf("experiment %u done (bw %.0f MB/s, Dload %.2f)\n", rep + 1,
-                res.ior.write_mbps, res.backend.d_load);
+  for (const auto& rep : set.point(0).reps) {
+    PFSC_ASSERT(rep.ior.err == lustre::Errno::ok);
+    obs.push_back(rep.contention);
+    bws.push_back(rep.ior.write_mbps);
+    std::printf("experiment %zu done (bw %.0f MB/s, Dload %.2f)\n", obs.size(),
+                rep.ior.write_mbps, rep.contention.d_load);
   }
   std::printf("\n");
 

@@ -7,44 +7,58 @@
 //
 // Usage: autotune_sweep [nprocs] (default 256)
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "core/metrics.hpp"
-#include "harness/experiments.hpp"
+#include "harness/cli.hpp"
+#include "harness/runner.hpp"
 #include "support/table.hpp"
 
 using namespace pfsc;
 
 int main(int argc, char** argv) {
-  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 256;
+  int nprocs = 256;
+  if (argc > 1) {
+    try {
+      nprocs = static_cast<int>(harness::cli::parse_int("nprocs", argv[1]));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\nusage: autotune_sweep [nprocs]\n",
+                   e.what());
+      return 2;
+    }
+  }
   PFSC_REQUIRE(nprocs >= 1, "autotune_sweep: bad process count");
 
   std::printf("Auto-tuning IOR (Table II workload) for %d processes on "
               "simulated lscratchc\n\n", nprocs);
 
-  const std::vector<std::uint32_t> counts{2, 8, 32, 64, 128, 160};
-  const std::vector<Bytes> sizes{1_MiB, 32_MiB, 128_MiB};
+  const std::vector<double> counts{2, 8, 32, 64, 128, 160};
+  const std::vector<double> sizes{static_cast<double>(1_MiB),
+                                  static_cast<double>(32_MiB),
+                                  static_cast<double>(128_MiB)};
+
+  harness::Scenario base;
+  base.nprocs = nprocs;
+  base.ior.hints.driver = mpiio::Driver::ad_lustre;
+  harness::RunPlan plan;
+  plan.sweep_striping_factor(counts).sweep_striping_unit(sizes).base_seed(0xA0);
+  const auto set = harness::ParallelRunner().run(base, plan);
 
   TextTable table({"stripes", "1 MiB", "32 MiB", "128 MiB"});
   double best = 0.0;
   std::uint32_t best_count = 0;
   Bytes best_size = 0;
-  for (auto count : counts) {
-    std::vector<std::string> row{fmt_int(count)};
-    for (auto size : sizes) {
-      harness::IorRunSpec spec;
-      spec.nprocs = nprocs;
-      spec.ior.hints.driver = mpiio::Driver::ad_lustre;
-      spec.ior.hints.striping_factor = count;
-      spec.ior.hints.striping_unit = size;
-      const auto res = harness::run_single_ior(spec, 0xA0 + count);
-      PFSC_ASSERT(res.err == lustre::Errno::ok);
-      row.push_back(fmt_double(res.write_mbps, 0));
-      if (res.write_mbps > best) {
-        best = res.write_mbps;
-        best_count = count;
-        best_size = size;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    std::vector<std::string> row{fmt_int(static_cast<long long>(counts[c]))};
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      const auto& point = set.point(c * sizes.size() + s);
+      PFSC_ASSERT(point.reps[0].ior.err == lustre::Errno::ok);
+      const double bw = point.reps[0].ior.write_mbps;
+      row.push_back(fmt_double(bw, 0));
+      if (bw > best) {
+        best = bw;
+        best_count = static_cast<std::uint32_t>(point.coords[0]);
+        best_size = static_cast<Bytes>(point.coords[1]);
       }
     }
     table.add_row(std::move(row));

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
-#include "harness/experiments.hpp"
+#include "harness/scenario.hpp"
 #include "support/table.hpp"
 
 using namespace pfsc;
@@ -56,18 +56,19 @@ int main() {
   std::printf("Validation: 4 contending 256-proc jobs, R=64, measured per-job "
               "bandwidth:\n");
   for (unsigned osts : {480u, 1920u}) {
-    harness::MultiJobSpec spec;
+    harness::Scenario spec;
+    spec.workload = harness::Workload::multi;
     spec.jobs = 4;
-    spec.procs_per_job = 256;
+    spec.nprocs = 256;
     spec.ior.hints.driver = mpiio::Driver::ad_lustre;
     spec.ior.hints.striping_factor = 64;
     spec.ior.hints.striping_unit = 128_MiB;
     spec.platform.ost_count = osts;
     spec.platform.oss_count = osts / 15;  // keep OSTs-per-OSS constant
-    const auto res = harness::run_multi_ior(spec, 777);
+    const auto res = harness::run_scenario(spec, 777);
     std::printf("  %4u OSTs: %7.0f MB/s per job (measured load %.2f, "
                 "predicted %.2f)\n",
-                osts, res.mean_mbps, res.contention.d_load,
+                osts, res.metric, res.contention.d_load,
                 core::d_load(64, 4, osts));
   }
   std::printf("\nMore OSTs -> fewer collisions -> better per-job bandwidth,\n"

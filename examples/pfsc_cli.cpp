@@ -9,112 +9,60 @@
 //   pfsc_cli advise --dtotal 480 --jobs 4 --budget 1.25
 //   pfsc_cli health --jobs 4 --stripes 64    (run jobs, then report)
 //
-// Every mode prints a compact table; --seed and --reps control repetition.
+// The flag surface is the Scenario/RunPlan field set itself (see
+// harness::cli::scenario_flags): each flag is named after the field it
+// sets, the old spellings remain as aliases, and every value is parsed
+// strictly — garbage input is an error, never a silent zero. --threads
+// runs repetitions across a worker pool without changing any result.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "core/fs_report.hpp"
 #include "core/metrics.hpp"
-#include "harness/experiments.hpp"
-#include "mpiio/info.hpp"
+#include "harness/cli.hpp"
+#include "harness/runner.hpp"
 #include "support/table.hpp"
 
 using namespace pfsc;
 
 namespace {
 
-struct Args {
-  std::string mode;
-  int nprocs = 256;
-  int jobs = 4;
-  unsigned writers = 4;
-  unsigned reps = 1;
-  unsigned stripes = 160;
-  unsigned dtotal = 480;
-  double budget = 1.25;
-  std::uint64_t seed = 1;
-  std::string hints;
-
-  static Args parse(int argc, char** argv) {
-    Args args;
-    if (argc < 2) usage_and_exit();
-    args.mode = argv[1];
-    for (int i = 2; i + 1 < argc; i += 2) {
-      const std::string key = argv[i];
-      const char* value = argv[i + 1];
-      if (key == "--nprocs") args.nprocs = std::atoi(value);
-      else if (key == "--jobs") args.jobs = std::atoi(value);
-      else if (key == "--writers") args.writers = static_cast<unsigned>(std::atoi(value));
-      else if (key == "--reps") args.reps = static_cast<unsigned>(std::atoi(value));
-      else if (key == "--stripes") args.stripes = static_cast<unsigned>(std::atoi(value));
-      else if (key == "--dtotal") args.dtotal = static_cast<unsigned>(std::atoi(value));
-      else if (key == "--budget") args.budget = std::atof(value);
-      else if (key == "--seed") args.seed = std::strtoull(value, nullptr, 10);
-      else if (key == "--hints") args.hints = value;
-      else usage_and_exit();
-    }
-    return args;
-  }
-
-  [[noreturn]] static void usage_and_exit() {
-    std::fprintf(stderr,
-                 "usage: pfsc_cli <ior|multi|probe|plfs|metrics|advise|health> [options]\n"
-                 "  --nprocs N --jobs N --writers N --reps N --stripes N\n"
-                 "  --dtotal N --budget X --seed N --hints \"k=v;k=v\"\n");
-    std::exit(2);
-  }
-};
-
-mpiio::Hints hints_from(const Args& args, mpiio::Driver default_driver) {
-  mpiio::Hints base;
-  base.driver = default_driver;
-  if (default_driver == mpiio::Driver::ad_lustre) {
-    base.striping_factor = args.stripes;
-    base.striping_unit = 128_MiB;
-  }
-  if (args.hints.empty()) return base;
-  const auto parsed = mpiio::parse_hints(args.hints, base);
-  for (const auto& key : parsed.unknown_keys) {
-    std::fprintf(stderr, "warning: ignoring unknown hint '%s'\n", key.c_str());
-  }
-  return parsed.hints;
+int usage(const harness::cli::FlagTable& table) {
+  std::fprintf(stderr,
+               "usage: pfsc_cli <ior|multi|probe|plfs|metrics|advise|health> "
+               "[options]\n%s",
+               table.usage().c_str());
+  return 2;
 }
 
-int run_ior_mode(const Args& args, bool plfs) {
+int run_ior_mode(const harness::Scenario& scenario, const harness::RunPlan& plan,
+                 unsigned threads) {
+  const auto set = harness::ParallelRunner(threads).run(scenario, plan);
+  const auto& point = set.point(0);
   TextTable table({"rep", "write MB/s", "verified", "time s"});
-  RunningStats bw;
-  Rng seeder(args.seed);
-  for (unsigned rep = 0; rep < args.reps; ++rep) {
-    harness::IorRunSpec spec;
-    spec.nprocs = args.nprocs;
-    spec.ior.hints = hints_from(
-        args, plfs ? mpiio::Driver::ad_plfs : mpiio::Driver::ad_lustre);
-    const auto res = plfs ? harness::run_plfs_ior(spec, seeder.next_u64()).ior
-                          : harness::run_single_ior(spec, seeder.next_u64());
+  for (std::size_t rep = 0; rep < point.reps.size(); ++rep) {
+    const auto& res = point.reps[rep].ior;
     if (res.err != lustre::Errno::ok) {
       std::fprintf(stderr, "run failed: %s\n", lustre::errno_name(res.err));
       return 1;
     }
-    bw.add(res.write_mbps);
-    table.cell(fmt_int(rep + 1))
+    table.cell(fmt_int(static_cast<long long>(rep + 1)))
         .cell(fmt_double(res.write_mbps, 0))
         .cell(res.verified ? "yes" : "NO")
         .cell(fmt_double(res.write_time, 1));
     table.end_row();
   }
-  table.print(plfs ? "IOR through ad_plfs" : "IOR");
-  std::printf("mean %.0f MB/s over %u rep(s)\n", bw.mean(), args.reps);
+  table.print(scenario.workload == harness::Workload::plfs ? "IOR through ad_plfs"
+                                                           : "IOR");
+  std::printf("mean %.0f MB/s over %u rep(s)\n", point.ci.mean, plan.reps());
   return 0;
 }
 
-int run_multi_mode(const Args& args) {
-  harness::MultiJobSpec spec;
-  spec.jobs = args.jobs;
-  spec.procs_per_job = args.nprocs;
-  spec.ior.hints = hints_from(args, mpiio::Driver::ad_lustre);
-  const auto res = harness::run_multi_ior(spec, args.seed);
+int run_multi_mode(const harness::Scenario& scenario,
+                   const harness::RunPlan& plan, unsigned threads,
+                   unsigned dtotal) {
+  const auto set = harness::ParallelRunner(threads).run(scenario, plan);
+  const auto& res = set.point(0).reps.front();
   TextTable table({"job", "write MB/s"});
   for (std::size_t j = 0; j < res.per_job.size(); ++j) {
     table.cell(fmt_int(static_cast<long long>(j + 1)))
@@ -122,20 +70,20 @@ int run_multi_mode(const Args& args) {
     table.end_row();
   }
   table.print("Contending jobs");
+  const unsigned stripes = scenario.ior.hints.striping_factor;
+  const auto jobs = static_cast<unsigned>(scenario.jobs);
   std::printf("total %.0f MB/s; Dinuse %.0f (Eq.2: %.1f); Dload %.2f (Eq.4: %.2f)\n",
               res.total_mbps, res.contention.d_inuse,
-              core::d_inuse_uniform(args.stripes, static_cast<unsigned>(args.jobs),
-                                    args.dtotal),
-              res.contention.d_load,
-              core::d_load(args.stripes, static_cast<unsigned>(args.jobs),
-                           args.dtotal));
+              core::d_inuse_uniform(stripes, jobs, dtotal),
+              res.contention.d_load, core::d_load(stripes, jobs, dtotal));
   return 0;
 }
 
-int run_probe_mode(const Args& args) {
-  harness::ProbeSpec spec;
-  spec.writers = args.writers;
-  const auto res = harness::run_probe_experiment(spec, args.seed);
+int run_probe_mode(const harness::Scenario& scenario,
+                   const harness::RunPlan& plan, unsigned threads) {
+  const auto set = harness::ParallelRunner(threads).run(scenario, plan);
+  const auto& point = set.point(0);
+  const auto& res = point.reps.front().probe;
   TextTable table({"writer", "MB/s"});
   for (std::size_t w = 0; w < res.per_process_mbps.size(); ++w) {
     table.cell(fmt_int(static_cast<long long>(w)))
@@ -143,64 +91,69 @@ int run_probe_mode(const Args& args) {
     table.end_row();
   }
   table.print("Single-OST contention probe");
-  std::printf("mean per-process %.1f MB/s\n", res.mean_mbps);
+  std::printf("mean per-process %.1f MB/s over %u rep(s)\n", point.ci.mean,
+              plan.reps());
   return 0;
 }
 
-int run_metrics_mode(const Args& args) {
+int run_metrics_mode(const harness::Scenario& scenario, unsigned dtotal) {
+  const unsigned stripes = scenario.ior.hints.striping_factor;
   TextTable table({"jobs", "Dinuse", "Dreq", "Dload", "busiest OST",
                    "job slowdown"});
   for (const auto& pt :
-       core::contention_table(args.stripes, static_cast<unsigned>(args.jobs),
-                              args.dtotal)) {
+       core::contention_table(stripes, static_cast<unsigned>(scenario.jobs),
+                              dtotal)) {
     table.cell(fmt_int(pt.jobs))
         .cell(fmt_double(pt.d_inuse, 2))
         .cell(fmt_int(static_cast<long long>(pt.d_req)))
         .cell(fmt_double(pt.d_load, 2))
-        .cell(fmt_double(core::expected_max_occupancy(args.dtotal, pt.jobs,
-                                                      args.stripes, args.dtotal), 2))
-        .cell(fmt_double(core::predicted_job_slowdown(args.dtotal, pt.jobs,
-                                                      args.stripes), 2));
+        .cell(fmt_double(core::expected_max_occupancy(dtotal, pt.jobs, stripes,
+                                                      dtotal), 2))
+        .cell(fmt_double(core::predicted_job_slowdown(dtotal, pt.jobs,
+                                                      stripes), 2));
     table.end_row();
   }
   char caption[128];
   std::snprintf(caption, sizeof caption,
-                "Contention metrics: D_total=%u, R=%u", args.dtotal, args.stripes);
+                "Contention metrics: D_total=%u, R=%u", dtotal, stripes);
   table.print(caption);
   return 0;
 }
 
-int run_health_mode(const Args& args) {
-  // Run a contended workload, then print the operator's health report.
+int run_health_mode(const harness::Scenario& scenario,
+                    const harness::RunPlan& plan) {
+  // Run a contended layout, then print the operator's health report.
   sim::Engine eng;
-  lustre::FileSystem fs(eng, hw::cab_lscratchc(), args.seed);
-  eng.spawn([](lustre::FileSystem& fs, const Args& args) -> sim::Task {
-    for (int j = 0; j < args.jobs; ++j) {
-      auto r = co_await fs.create("/job" + std::to_string(j),
-                                  lustre::StripeSettings{args.stripes, 128_MiB, -1});
+  lustre::FileSystem fs(eng, scenario.platform, plan.seed());
+  eng.spawn([](lustre::FileSystem& fs, const harness::Scenario& s) -> sim::Task {
+    for (int j = 0; j < s.jobs; ++j) {
+      auto r = co_await fs.create(
+          "/job" + std::to_string(j),
+          lustre::StripeSettings{s.ior.hints.striping_factor,
+                                 s.ior.hints.striping_unit, -1});
       PFSC_ASSERT(r.ok());
     }
-  }(fs, args));
+  }(fs, scenario));
   eng.run();
   std::fputs(core::format_health_report(core::collect_health_report(fs)).c_str(),
              stdout);
   return 0;
 }
 
-int run_advise_mode(const Args& args) {
-  const auto advice = core::advise_stripe_count(
-      args.dtotal, static_cast<unsigned>(args.jobs), args.budget, 160);
+int run_advise_mode(const harness::Scenario& scenario, unsigned dtotal,
+                    double budget) {
+  const auto jobs = static_cast<unsigned>(scenario.jobs);
+  const auto advice = core::advise_stripe_count(dtotal, jobs, budget, 160);
   if (advice.recommended_stripes == 0) {
     std::printf("No stripe count satisfies load budget %.2f with %d jobs on "
-                "%u OSTs.\n", args.budget, args.jobs, args.dtotal);
+                "%u OSTs.\n", budget, scenario.jobs, dtotal);
     return 1;
   }
   std::printf("Request %u stripes per job: predicted load %.2f, %.0f OSTs in "
               "use, expected job slowdown %.2fx.\n",
               advice.recommended_stripes, advice.predicted_load,
               advice.predicted_inuse,
-              core::predicted_job_slowdown(args.dtotal,
-                                           static_cast<unsigned>(args.jobs),
+              core::predicted_job_slowdown(dtotal, jobs,
                                            advice.recommended_stripes));
   return 0;
 }
@@ -208,18 +161,47 @@ int run_advise_mode(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = Args::parse(argc, argv);
+  harness::Scenario scenario;
+  harness::RunPlan plan;
+  unsigned threads = 0;
+  unsigned dtotal = 480;
+  double budget = 1.25;
+
+  harness::cli::FlagTable table =
+      harness::cli::scenario_flags(scenario, plan, threads);
+  table.bind("--dtotal", dtotal, "total OSTs for the analytic modes");
+  table.bind("--budget", budget, "load budget for advise mode");
+
+  if (argc < 2) return usage(table);
+  const std::string mode = argv[1];
+
+  // Mode presets, applied before the flags so any flag can override them.
+  if (mode == "plfs") {
+    scenario.workload = harness::Workload::plfs;
+    scenario.ior.hints.driver = mpiio::Driver::ad_plfs;
+  } else if (mode == "probe") {
+    scenario.workload = harness::Workload::probe;
+  } else {
+    if (mode == "multi") scenario.workload = harness::Workload::multi;
+    // The tuned layout of Section IV is the CLI's baseline.
+    scenario.ior.hints.driver = mpiio::Driver::ad_lustre;
+    scenario.ior.hints.striping_factor = 160;
+    scenario.ior.hints.striping_unit = 128_MiB;
+  }
+
   try {
-    if (args.mode == "ior") return run_ior_mode(args, false);
-    if (args.mode == "plfs") return run_ior_mode(args, true);
-    if (args.mode == "multi") return run_multi_mode(args);
-    if (args.mode == "probe") return run_probe_mode(args);
-    if (args.mode == "metrics") return run_metrics_mode(args);
-    if (args.mode == "advise") return run_advise_mode(args);
-    if (args.mode == "health") return run_health_mode(args);
+    table.parse(argc, argv, 2);
+    if (mode == "ior" || mode == "plfs") {
+      return run_ior_mode(scenario, plan, threads);
+    }
+    if (mode == "multi") return run_multi_mode(scenario, plan, threads, dtotal);
+    if (mode == "probe") return run_probe_mode(scenario, plan, threads);
+    if (mode == "metrics") return run_metrics_mode(scenario, dtotal);
+    if (mode == "advise") return run_advise_mode(scenario, dtotal, budget);
+    if (mode == "health") return run_health_mode(scenario, plan);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  Args::usage_and_exit();
+  return usage(table);
 }

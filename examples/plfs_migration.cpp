@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
-#include "harness/experiments.hpp"
+#include "harness/scenario.hpp"
 #include "support/table.hpp"
 
 using namespace pfsc;
@@ -19,7 +19,9 @@ using namespace pfsc;
 namespace {
 
 ior::Result run_driver(int nprocs, mpiio::Driver driver, bool read_back) {
-  harness::IorRunSpec spec;
+  harness::Scenario spec;
+  spec.workload = driver == mpiio::Driver::ad_plfs ? harness::Workload::plfs
+                                                   : harness::Workload::ior;
   spec.nprocs = nprocs;
   spec.ior.read_file = read_back;
   spec.ior.hints.driver = driver;
@@ -29,11 +31,7 @@ ior::Result run_driver(int nprocs, mpiio::Driver driver, bool read_back) {
   }
   // Shrink the workload so the read phase keeps the example snappy.
   spec.ior.segment_count = 25;
-  if (driver == mpiio::Driver::ad_plfs) {
-    const auto res = harness::run_plfs_ior(spec, 99);
-    return res.ior;
-  }
-  return harness::run_single_ior(spec, 99);
+  return harness::run_scenario(spec, 99).ior;
 }
 
 }  // namespace

@@ -1,0 +1,232 @@
+#include "harness/cli.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "mpiio/info.hpp"
+
+namespace pfsc::harness::cli {
+
+namespace {
+
+[[noreturn]] void bad_value(std::string_view flag, std::string_view text,
+                            const char* what) {
+  throw UsageError(std::string(flag) + ": " + what + ": '" +
+                   std::string(text) + "'");
+}
+
+template <typename T>
+T parse_number(std::string_view flag, std::string_view text, const char* what) {
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty()) {
+    bad_value(flag, text, what);
+  }
+  return value;
+}
+
+}  // namespace
+
+long long parse_int(std::string_view flag, std::string_view text) {
+  return parse_number<long long>(flag, text, "expected an integer");
+}
+
+std::uint64_t parse_uint(std::string_view flag, std::string_view text) {
+  return parse_number<std::uint64_t>(flag, text,
+                                     "expected a non-negative integer");
+}
+
+double parse_double(std::string_view flag, std::string_view text) {
+  return parse_number<double>(flag, text, "expected a number");
+}
+
+Bytes parse_bytes(std::string_view flag, std::string_view text) {
+  std::size_t suffix = text.size();
+  while (suffix > 0 && (std::isalpha(static_cast<unsigned char>(text[suffix - 1])) != 0)) {
+    --suffix;
+  }
+  const std::string_view digits = text.substr(0, suffix);
+  std::string_view unit = text.substr(suffix);
+  Bytes multiplier = 1;
+  if (!unit.empty()) {
+    // Accept "K", "KB", "KiB" (binary semantics throughout, like lfs).
+    const char head = static_cast<char>(std::toupper(static_cast<unsigned char>(unit[0])));
+    switch (head) {
+      case 'K': multiplier = 1_KiB; break;
+      case 'M': multiplier = 1_MiB; break;
+      case 'G': multiplier = 1_GiB; break;
+      case 'T': multiplier = 1024_GiB; break;
+      case 'B': multiplier = 1; break;
+      default: bad_value(flag, text, "unknown byte-size suffix");
+    }
+    const std::string_view rest = unit.substr(1);
+    if (!(rest.empty() || rest == "B" || rest == "b" || rest == "iB" ||
+          rest == "ib")) {
+      bad_value(flag, text, "unknown byte-size suffix");
+    }
+  }
+  return parse_number<Bytes>(flag, digits, "expected a byte size") * multiplier;
+}
+
+Flag& FlagTable::add(std::string name, std::string value_name, std::string help,
+                     std::function<void(std::string_view)> set) {
+  PFSC_REQUIRE(set != nullptr, "FlagTable: null setter");
+  PFSC_REQUIRE(name.rfind("--", 0) == 0, "FlagTable: flags start with --");
+  PFSC_REQUIRE(find(name) == nullptr, "FlagTable: duplicate flag " + name);
+  Flag flag;
+  flag.name = std::move(name);
+  flag.value_name = std::move(value_name);
+  flag.help = std::move(help);
+  flag.set = std::move(set);
+  flags_.push_back(std::move(flag));
+  return flags_.back();
+}
+
+Flag& FlagTable::bind(std::string name, int& target, std::string help) {
+  const std::string flag = name;
+  return add(std::move(name), "N", std::move(help),
+             [flag, &target](std::string_view text) {
+               target = static_cast<int>(parse_int(flag, text));
+             });
+}
+
+Flag& FlagTable::bind(std::string name, unsigned& target, std::string help) {
+  const std::string flag = name;
+  return add(std::move(name), "N", std::move(help),
+             [flag, &target](std::string_view text) {
+               target = static_cast<unsigned>(parse_uint(flag, text));
+             });
+}
+
+Flag& FlagTable::bind(std::string name, std::uint64_t& target, std::string help) {
+  const std::string flag = name;
+  return add(std::move(name), "N", std::move(help),
+             [flag, &target](std::string_view text) {
+               target = parse_uint(flag, text);
+             });
+}
+
+Flag& FlagTable::bind(std::string name, double& target, std::string help) {
+  const std::string flag = name;
+  return add(std::move(name), "X", std::move(help),
+             [flag, &target](std::string_view text) {
+               target = parse_double(flag, text);
+             });
+}
+
+Flag& FlagTable::bind(std::string name, std::string& target, std::string help) {
+  return add(std::move(name), "STR", std::move(help),
+             [&target](std::string_view text) { target = std::string(text); });
+}
+
+Flag& FlagTable::bind_bytes(std::string name, Bytes& target, std::string help) {
+  const std::string flag = name;
+  return add(std::move(name), "BYTES", std::move(help),
+             [flag, &target](std::string_view text) {
+               target = parse_bytes(flag, text);
+             });
+}
+
+FlagTable& FlagTable::alias(std::string name) {
+  PFSC_REQUIRE(!flags_.empty(), "FlagTable: alias() needs a preceding flag");
+  PFSC_REQUIRE(find(name) == nullptr, "FlagTable: duplicate flag " + name);
+  flags_.back().aliases.push_back(std::move(name));
+  return *this;
+}
+
+const Flag* FlagTable::find(std::string_view name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+    for (const auto& alias : flag.aliases) {
+      if (alias == name) return &flag;
+    }
+  }
+  return nullptr;
+}
+
+void FlagTable::parse(int argc, char** argv, int from) const {
+  for (int i = from; i < argc; ++i) {
+    const std::string_view key = argv[i];
+    const Flag* flag = find(key);
+    if (flag == nullptr) {
+      throw UsageError("unknown flag '" + std::string(key) + "'");
+    }
+    if (i + 1 >= argc) {
+      throw UsageError(flag->name + ": missing value");
+    }
+    flag->set(argv[++i]);
+  }
+}
+
+std::string FlagTable::usage() const {
+  std::string out;
+  for (const auto& flag : flags_) {
+    out += "  " + flag.name + " " + flag.value_name;
+    for (const auto& alias : flag.aliases) out += " (alias " + alias + ")";
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+FlagTable scenario_flags(Scenario& scenario, RunPlan& plan, unsigned& threads) {
+  FlagTable table;
+
+  // Scenario fields — PFSC_FLAG stringises the member, so the flag
+  // spelling *is* the field name.
+  PFSC_FLAG(table, scenario, nprocs, "ranks per job");
+  PFSC_FLAG(table, scenario, procs_per_node, "ranks per simulated node");
+  table.alias("--ppn");
+  PFSC_FLAG(table, scenario, jobs, "contending jobs (multi workload)");
+  PFSC_FLAG(table, scenario, writers, "probe writers on one OST");
+  PFSC_FLAG_BYTES(table, scenario, bytes_per_writer,
+                  "bytes each probe writer streams");
+  PFSC_FLAG(table, scenario, telemetry_interval,
+            "sampling interval in simulated seconds (0: off)");
+
+  PFSC_FLAG(table, scenario.ior.hints, striping_factor,
+            "Lustre stripe count hint");
+  table.alias("--stripes");
+  PFSC_FLAG_BYTES(table, scenario.ior.hints, striping_unit,
+                  "Lustre stripe size hint");
+  // scenario.noise.writers would collide with the probe's --writers, so the
+  // noise fields carry their sub-struct name.
+  table.bind("--noise_writers", scenario.noise.writers,
+             "background noise writers");
+  PFSC_FLAG_BYTES(table, scenario.ior, block_size, "IOR blockSize per rank");
+  PFSC_FLAG_BYTES(table, scenario.ior, transfer_size, "IOR transferSize");
+  PFSC_FLAG(table, scenario.ior, segment_count, "IOR segmentCount");
+
+  // Full textual hints override individual hint flags (MPI_Info form).
+  table.add("--hints", "\"k=v;k=v\"", "MPI-IO hints, textual MPI_Info form",
+            [&scenario](std::string_view text) {
+              const auto parsed =
+                  mpiio::parse_hints(text, scenario.ior.hints);
+              if (!parsed.unknown_keys.empty()) {
+                throw UsageError("--hints: unknown hint key '" +
+                                 parsed.unknown_keys.front() + "'");
+              }
+              scenario.ior.hints = parsed.hints;
+            });
+
+  // RunPlan fields.
+  table.add("--repetitions", "N", "repetitions per plan point",
+            [&plan](std::string_view text) {
+              plan.repetitions(
+                  static_cast<unsigned>(parse_uint("--repetitions", text)));
+            });
+  table.alias("--reps");
+  table.add("--base_seed", "N", "base seed for per-repetition seed derivation",
+            [&plan](std::string_view text) {
+              plan.base_seed(parse_uint("--base_seed", text));
+            });
+  table.alias("--seed");
+
+  // ParallelRunner.
+  table.bind("--threads", threads,
+             "worker threads for the sweep (0: hardware concurrency)");
+  return table;
+}
+
+}  // namespace pfsc::harness::cli

@@ -1,150 +1,74 @@
 #include "harness/experiments.hpp"
 
-#include <memory>
-#include <string>
-
-#include "plfs/plfs.hpp"
+#include "support/rng.hpp"
 
 namespace pfsc::harness {
-
-namespace {
-
-sim::Task noise_writer(lustre::Client& client, std::string path,
-                       lustre::StripeSettings settings, Bytes total,
-                       Bytes transfer) {
-  auto file = co_await client.create(std::move(path), settings);
-  if (!file.ok()) co_return;
-  for (Bytes off = 0; off < total; off += transfer) {
-    const Bytes chunk = std::min(transfer, total - off);
-    const auto e = co_await client.write_buffered(file.value, off, chunk);
-    if (e != lustre::Errno::ok) co_return;
-  }
-  (void)co_await client.flush();
-}
-
-}  // namespace
 
 void spawn_background_noise(lustre::FileSystem& fs,
                             std::vector<std::unique_ptr<lustre::Client>>& clients,
                             const NoiseSpec& noise, std::uint64_t seed) {
-  lustre::StripeSettings settings;
-  settings.stripe_count = noise.stripes;
-  settings.stripe_size = noise.stripe_size;
-  for (unsigned w = 0; w < noise.writers; ++w) {
-    clients.push_back(std::make_unique<lustre::Client>(
-        fs, "noise" + std::to_string(w)));
-    fs.engine().spawn(noise_writer(
-        *clients.back(), "/noise." + std::to_string(seed % 1000) + "." + std::to_string(w),
-        settings, noise.bytes_per_writer, noise.transfer_size));
-  }
+  spawn_noise(fs, clients, noise, seed);
+}
+
+Scenario IorRunSpec::to_scenario() const {
+  Scenario s;
+  s.workload = ior.hints.driver == mpiio::Driver::ad_plfs ? Workload::plfs
+                                                          : Workload::ior;
+  s.nprocs = nprocs;
+  s.procs_per_node = procs_per_node;
+  s.ior = ior;
+  s.platform = platform;
+  s.noise = noise;
+  return s;
 }
 
 ior::Result run_single_ior(const IorRunSpec& spec, std::uint64_t seed) {
-  sim::Engine eng;
-  lustre::FileSystem fs(eng, spec.platform, seed);
-  mpi::Runtime rt(fs, spec.nprocs, spec.procs_per_node);
-  std::vector<std::unique_ptr<lustre::Client>> noise_clients;
-  if (spec.noise.writers > 0) {
-    spawn_background_noise(fs, noise_clients, spec.noise, seed);
-  }
-  return ior::run_ior(rt, spec.ior);
+  Scenario s = spec.to_scenario();
+  s.workload = Workload::ior;
+  return run_scenario(s, seed).ior;
 }
 
 PlfsRunResult run_plfs_ior(const IorRunSpec& spec, std::uint64_t seed) {
-  PFSC_REQUIRE(spec.ior.hints.driver == mpiio::Driver::ad_plfs,
-               "run_plfs_ior: hints must select ad_plfs");
-  sim::Engine eng;
-  lustre::FileSystem fs(eng, spec.platform, seed);
-  mpi::Runtime rt(fs, spec.nprocs, spec.procs_per_node);
-  plfs::Plfs plfs(fs);
-
-  PlfsRunResult out;
-  out.ior = ior::run_ior(rt, spec.ior, &plfs);
-  const auto data_files = plfs.backend_data_files(spec.ior.test_file);
-  const auto per_ost = fs.ost_occupancy(data_files);
-  out.backend = core::observe(per_ost);
-  return out;
+  Scenario s = spec.to_scenario();
+  s.workload = Workload::plfs;
+  const Observation obs = run_scenario(s, seed);
+  return PlfsRunResult{obs.ior, obs.contention};
 }
 
-namespace {
-
-/// Per-colour slot: the first rank of each sub-communicator constructs the
-/// job; everyone else waits on `ready`.
-struct JobSlot {
-  std::unique_ptr<ior::IorJob> job;
-  std::unique_ptr<sim::Event> ready;
-};
-
-sim::Task multi_rank_main(mpi::Runtime& rt, lustre::FileSystem& fs,
-                          const MultiJobSpec& spec, std::vector<JobSlot>& slots,
-                          int world_rank) {
-  mpi::Communicator& world = rt.world();
-  const int color = world_rank / spec.procs_per_job;
-
-  // Synchronise all jobs' starts, then carve the world into one
-  // communicator per job (the paper's "four identical IOR executions each
-  // running simultaneously").
-  co_await world.barrier(world_rank);
-  const auto sr = co_await world.split(world_rank, color, world_rank);
-  JobSlot& slot = slots[static_cast<std::size_t>(color)];
-  if (sr.rank == 0) {
-    ior::Config cfg = spec.ior;
-    cfg.test_file += "." + std::to_string(color);
-    slot.job = std::make_unique<ior::IorJob>(*sr.comm, fs, cfg, nullptr);
-    slot.ready->trigger();
-  } else if (!slot.ready->fired()) {
-    co_await slot.ready->wait();
-  }
-  co_await slot.job->run_rank(sr.rank, rt.client(world_rank));
+Scenario MultiJobSpec::to_scenario() const {
+  Scenario s;
+  s.workload = Workload::multi;
+  s.jobs = jobs;
+  s.nprocs = procs_per_job;
+  s.procs_per_node = procs_per_node;
+  s.ior = ior;
+  s.platform = platform;
+  return s;
 }
-
-}  // namespace
 
 MultiJobResult run_multi_ior(const MultiJobSpec& spec, std::uint64_t seed) {
-  PFSC_REQUIRE(spec.jobs >= 1, "run_multi_ior: need at least one job");
-  PFSC_REQUIRE(spec.ior.hints.driver != mpiio::Driver::ad_plfs,
-               "run_multi_ior: use run_plfs_ior for PLFS");
-  sim::Engine eng;
-  lustre::FileSystem fs(eng, spec.platform, seed);
-  mpi::Runtime rt(fs, spec.jobs * spec.procs_per_job, spec.procs_per_node);
-
-  std::vector<JobSlot> slots(static_cast<std::size_t>(spec.jobs));
-  for (auto& slot : slots) slot.ready = std::make_unique<sim::Event>(eng);
-
-  rt.run_to_completion([&](int world_rank) -> sim::Task {
-    return multi_rank_main(rt, fs, spec, slots, world_rank);
-  });
-
+  const Observation obs = run_scenario(spec.to_scenario(), seed);
   MultiJobResult out;
-  std::vector<lustre::InodeId> files;
-  for (auto& slot : slots) {
-    PFSC_ASSERT(slot.job && slot.job->finished());
-    out.per_job.push_back(slot.job->result());
-    out.mean_mbps += slot.job->result().write_mbps;
-    out.total_mbps += slot.job->result().write_mbps;
-    files.push_back(slot.job->file().context().ino);
-  }
-  out.mean_mbps /= static_cast<double>(spec.jobs);
-  out.contention = core::observe(fs.ost_occupancy(files));
+  out.per_job = obs.per_job;
+  out.mean_mbps = obs.metric;
+  out.total_mbps = obs.total_mbps;
+  out.contention = obs.contention;
   return out;
+}
+
+Scenario ProbeSpec::to_scenario() const {
+  Scenario s;
+  s.workload = Workload::probe;
+  s.writers = writers;
+  s.bytes_per_writer = bytes_per_writer;
+  s.procs_per_node = procs_per_node;
+  s.platform = platform;
+  s.noise = noise;
+  return s;
 }
 
 ior::ProbeResult run_probe_experiment(const ProbeSpec& spec, std::uint64_t seed) {
-  sim::Engine eng;
-  lustre::FileSystem fs(eng, spec.platform, seed);
-  mpi::Runtime rt(fs, static_cast<int>(spec.writers), spec.procs_per_node);
-  std::vector<std::unique_ptr<lustre::Client>> noise_clients;
-  if (spec.noise.writers > 0) {
-    spawn_background_noise(fs, noise_clients, spec.noise, seed);
-  }
-  ior::ProbeConfig cfg;
-  cfg.num_writers = spec.writers;
-  cfg.bytes_per_writer = spec.bytes_per_writer;
-  // Any OST works (the paper pins one via stripe_offset); randomising the
-  // pick per repetition lets background noise land on it sometimes, which
-  // is where the single-writer variance of Figure 2's band comes from.
-  cfg.target_ost = static_cast<lustre::OstIndex>(seed % fs.params().ost_count);
-  return ior::run_probe(rt, cfg);
+  return run_scenario(spec.to_scenario(), seed).probe;
 }
 
 RepeatedStats repeat(unsigned reps, std::uint64_t base_seed,

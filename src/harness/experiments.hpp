@@ -1,42 +1,28 @@
-// Experiment drivers shared by the bench binaries and the integration
-// tests: each builds a fresh simulated platform (engine + file system +
-// runtime) from a seed, runs one experiment, and returns the measurements.
-// Fresh-state-per-run keeps repetitions independent, exactly like
-// resubmitting a batch job.
+// DEPRECATED experiment drivers — thin wrappers over the unified Scenario
+// API (scenario.hpp / run_plan.hpp / runner.hpp). Kept for one release so
+// out-of-tree users migrate gently; nothing in this repository uses them.
+//
+//   run_single_ior(spec, seed)   -> run_scenario(Scenario{.workload=ior}, seed)
+//   run_plfs_ior(spec, seed)     -> run_scenario(Scenario{.workload=plfs}, seed)
+//   run_multi_ior(spec, seed)    -> run_scenario(Scenario{.workload=multi}, seed)
+//   run_probe_experiment(...)    -> run_scenario(Scenario{.workload=probe}, seed)
+//   spawn_background_noise(...)  -> spawn_noise(...)
+//   repeat(reps, seed, fn)       -> ParallelRunner::run with RunPlan::repetitions
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
-#include "core/metrics.hpp"
-#include "hw/platform.hpp"
-#include "ior/ior.hpp"
-#include "ior/probe.hpp"
+#include "harness/scenario.hpp"
 #include "support/stats.hpp"
 
 namespace pfsc::harness {
 
-// ---------------------------------------------------------------------------
-// Background noise: lscratchc is a shared-user file system ("there is some
-// variance in performance with no forced contention"). Optional independent
-// writers with default layouts run alongside any experiment.
-// ---------------------------------------------------------------------------
-struct NoiseSpec {
-  unsigned writers = 0;
-  Bytes bytes_per_writer = 256_MiB;
-  Bytes transfer_size = 1_MiB;
-  std::uint32_t stripes = 2;  // background users rarely tune
-  Bytes stripe_size = 1_MiB;
-};
-
-/// Spawn the background writers on `fs` (each an independent client with a
-/// default-layout file, started immediately). The engine owns the spawned
-/// processes; `clients` receives ownership of the Client objects and must
-/// outlive the run.
-void spawn_background_noise(lustre::FileSystem& fs,
-                            std::vector<std::unique_ptr<lustre::Client>>& clients,
-                            const NoiseSpec& noise, std::uint64_t seed);
+[[deprecated("use harness::spawn_noise")]] void spawn_background_noise(
+    lustre::FileSystem& fs,
+    std::vector<std::unique_ptr<lustre::Client>>& clients,
+    const NoiseSpec& noise, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Single IOR job (Figure 1 sweep points, Figure 5 Lustre/PLFS curves).
@@ -47,9 +33,13 @@ struct IorRunSpec {
   ior::Config ior;
   hw::PlatformParams platform = hw::cab_lscratchc();
   NoiseSpec noise;  // writers == 0: quiet system
+
+  /// The equivalent Scenario (workload defaults to ior).
+  Scenario to_scenario() const;
 };
 
-ior::Result run_single_ior(const IorRunSpec& spec, std::uint64_t seed);
+[[deprecated("use harness::run_scenario with Workload::ior")]] ior::Result
+run_single_ior(const IorRunSpec& spec, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // PLFS-backed IOR with backend collision census (Fig. 5, Tables VIII/IX).
@@ -59,7 +49,8 @@ struct PlfsRunResult {
   core::ObservedContention backend;  // per-OST data-file occupancy
 };
 
-PlfsRunResult run_plfs_ior(const IorRunSpec& spec, std::uint64_t seed);
+[[deprecated("use harness::run_scenario with Workload::plfs")]] PlfsRunResult
+run_plfs_ior(const IorRunSpec& spec, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // N simultaneous IOR jobs in one MPI world via comm_split
@@ -71,6 +62,8 @@ struct MultiJobSpec {
   int procs_per_node = 16;
   ior::Config ior;  // test_file gets a per-job suffix
   hw::PlatformParams platform = hw::cab_lscratchc();
+
+  Scenario to_scenario() const;
 };
 
 struct MultiJobResult {
@@ -81,7 +74,8 @@ struct MultiJobResult {
   core::ObservedContention contention;
 };
 
-MultiJobResult run_multi_ior(const MultiJobSpec& spec, std::uint64_t seed);
+[[deprecated("use harness::run_scenario with Workload::multi")]] MultiJobResult
+run_multi_ior(const MultiJobSpec& spec, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Single-OST contention probe (Figure 2).
@@ -94,9 +88,12 @@ struct ProbeSpec {
   /// Shared-system noise; the paper derives Figure 2's ideal band from the
   /// single-writer variance a busy file system naturally exhibits.
   NoiseSpec noise;
+
+  Scenario to_scenario() const;
 };
 
-ior::ProbeResult run_probe_experiment(const ProbeSpec& spec, std::uint64_t seed);
+[[deprecated("use harness::run_scenario with Workload::probe")]] ior::ProbeResult
+run_probe_experiment(const ProbeSpec& spec, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Repetition helper: run fn(seed_i) `reps` times with derived seeds.
@@ -106,7 +103,8 @@ struct RepeatedStats {
   ConfidenceInterval ci;
 };
 
-RepeatedStats repeat(unsigned reps, std::uint64_t base_seed,
-                     const std::function<double(std::uint64_t)>& fn);
+[[deprecated("use harness::RunPlan::repetitions with ParallelRunner")]] RepeatedStats
+repeat(unsigned reps, std::uint64_t base_seed,
+       const std::function<double(std::uint64_t)>& fn);
 
 }  // namespace pfsc::harness

@@ -1,0 +1,239 @@
+#include "harness/scenario.hpp"
+
+#include <string>
+
+#include "plfs/plfs.hpp"
+
+namespace pfsc::harness {
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::ior: return "ior";
+    case Workload::plfs: return "plfs";
+    case Workload::multi: return "multi";
+    case Workload::probe: return "probe";
+  }
+  return "?";
+}
+
+void Scenario::validate() const {
+  PFSC_REQUIRE(nprocs >= 1, "Scenario: nprocs must be positive");
+  PFSC_REQUIRE(procs_per_node >= 1, "Scenario: procs_per_node must be positive");
+  PFSC_REQUIRE(telemetry_interval >= 0.0,
+               "Scenario: telemetry_interval must be non-negative");
+  switch (workload) {
+    case Workload::ior:
+      break;
+    case Workload::plfs:
+      PFSC_REQUIRE(ior.hints.driver == mpiio::Driver::ad_plfs,
+                   "Scenario: plfs workload needs hints.driver == ad_plfs");
+      break;
+    case Workload::multi:
+      PFSC_REQUIRE(jobs >= 1, "Scenario: multi workload needs at least one job");
+      PFSC_REQUIRE(ior.hints.driver != mpiio::Driver::ad_plfs,
+                   "Scenario: use the plfs workload for ad_plfs");
+      break;
+    case Workload::probe:
+      PFSC_REQUIRE(writers >= 1, "Scenario: probe needs at least one writer");
+      PFSC_REQUIRE(telemetry_interval == 0.0,
+                   "Scenario: the probe workload does not support telemetry");
+      break;
+  }
+}
+
+namespace {
+
+sim::Task noise_writer(lustre::Client& client, std::string path,
+                       lustre::StripeSettings settings, Bytes total,
+                       Bytes transfer) {
+  auto file = co_await client.create(std::move(path), settings);
+  if (!file.ok()) co_return;
+  for (Bytes off = 0; off < total; off += transfer) {
+    const Bytes chunk = std::min(transfer, total - off);
+    const auto e = co_await client.write_buffered(file.value, off, chunk);
+    if (e != lustre::Errno::ok) co_return;
+  }
+  (void)co_await client.flush();
+}
+
+/// Shared run state every workload branch builds: fresh engine, seeded file
+/// system, runtime, optional background noise, optional telemetry sampler.
+struct Rig {
+  sim::Engine eng;
+  lustre::FileSystem fs;
+  mpi::Runtime rt;
+  std::vector<std::unique_ptr<lustre::Client>> noise_clients;
+  std::unique_ptr<trace::Sampler> sampler;
+
+  Rig(const Scenario& s, int nprocs, std::uint64_t seed)
+      : fs(eng, s.platform, seed), rt(fs, nprocs, s.procs_per_node) {
+    if (s.noise.writers > 0) {
+      spawn_noise(fs, noise_clients, s.noise, seed);
+    }
+    if (s.telemetry_interval > 0.0) {
+      sampler = std::make_unique<trace::Sampler>(eng, s.telemetry_interval);
+      sampler->add_total_bytes_probe(fs);
+    }
+  }
+
+  /// Start sampling, stopping once `done()` first returns true (so the
+  /// periodic sampler cannot keep the drained engine alive).
+  void start_sampler(std::function<bool()> done) {
+    if (!sampler) return;
+    sampler->watch([done = std::move(done)] { return !done(); });
+    sampler->start();
+  }
+
+  void export_bandwidth(Observation& obs) const {
+    if (!sampler) return;
+    obs.bandwidth = trace::Sampler::bandwidth_timeline(sampler->series(0));
+  }
+};
+
+double headline_metric(const ior::Config& cfg, const ior::Result& res) {
+  return cfg.write_file ? res.write_mbps : res.read_mbps;
+}
+
+Observation run_ior_like(const Scenario& s, std::uint64_t seed, bool plfs_census) {
+  Rig rig(s, s.nprocs, seed);
+  std::unique_ptr<plfs::Plfs> plfs;
+  if (s.ior.hints.driver == mpiio::Driver::ad_plfs) {
+    plfs = std::make_unique<plfs::Plfs>(rig.fs);
+  }
+  ior::IorJob job(rig.rt.world(), rig.fs, s.ior, plfs.get());
+  rig.start_sampler([&job] { return job.finished(); });
+  rig.rt.run_to_completion([&](int rank) -> sim::Task {
+    return job.rank_main(rank, rig.rt.client(rank));
+  });
+
+  Observation obs;
+  obs.ior = job.result();
+  obs.metric = headline_metric(s.ior, obs.ior);
+  if (plfs_census) {
+    const auto data_files = plfs->backend_data_files(s.ior.test_file);
+    obs.contention = core::observe(rig.fs.ost_occupancy(data_files));
+  }
+  rig.export_bandwidth(obs);
+  return obs;
+}
+
+/// Per-colour slot: the first rank of each sub-communicator constructs the
+/// job; everyone else waits on `ready`.
+struct JobSlot {
+  std::unique_ptr<ior::IorJob> job;
+  std::unique_ptr<sim::Event> ready;
+};
+
+sim::Task multi_rank_main(mpi::Runtime& rt, lustre::FileSystem& fs,
+                          const Scenario& s, std::vector<JobSlot>& slots,
+                          int world_rank) {
+  mpi::Communicator& world = rt.world();
+  const int color = world_rank / s.nprocs;
+
+  // Synchronise all jobs' starts, then carve the world into one
+  // communicator per job (the paper's "four identical IOR executions each
+  // running simultaneously").
+  co_await world.barrier(world_rank);
+  const auto sr = co_await world.split(world_rank, color, world_rank);
+  JobSlot& slot = slots[static_cast<std::size_t>(color)];
+  if (sr.rank == 0) {
+    ior::Config cfg = s.ior;
+    cfg.test_file += "." + std::to_string(color);
+    slot.job = std::make_unique<ior::IorJob>(*sr.comm, fs, cfg, nullptr);
+    slot.ready->trigger();
+  } else if (!slot.ready->fired()) {
+    co_await slot.ready->wait();
+  }
+  co_await slot.job->run_rank(sr.rank, rt.client(world_rank));
+}
+
+Observation run_multi(const Scenario& s, std::uint64_t seed) {
+  Rig rig(s, s.jobs * s.nprocs, seed);
+  std::vector<JobSlot> slots(static_cast<std::size_t>(s.jobs));
+  for (auto& slot : slots) slot.ready = std::make_unique<sim::Event>(rig.eng);
+
+  rig.start_sampler([&slots] {
+    for (const auto& slot : slots) {
+      if (!slot.job || !slot.job->finished()) return false;
+    }
+    return true;
+  });
+  rig.rt.run_to_completion([&](int world_rank) -> sim::Task {
+    return multi_rank_main(rig.rt, rig.fs, s, slots, world_rank);
+  });
+
+  Observation obs;
+  std::vector<lustre::InodeId> files;
+  double mean = 0.0;
+  for (auto& slot : slots) {
+    PFSC_ASSERT(slot.job && slot.job->finished());
+    obs.per_job.push_back(slot.job->result());
+    mean += slot.job->result().write_mbps;
+    obs.total_mbps += slot.job->result().write_mbps;
+    files.push_back(slot.job->file().context().ino);
+  }
+  mean /= static_cast<double>(s.jobs);
+  obs.ior = obs.per_job.front();
+  obs.ior.write_mbps = mean;
+  obs.metric = mean;
+  obs.contention = core::observe(rig.fs.ost_occupancy(files));
+  rig.export_bandwidth(obs);
+  return obs;
+}
+
+Observation run_probe(const Scenario& s, std::uint64_t seed) {
+  Rig rig(s, static_cast<int>(s.writers), seed);
+  ior::ProbeConfig cfg;
+  cfg.num_writers = s.writers;
+  cfg.bytes_per_writer = s.bytes_per_writer;
+  // Any OST works (the paper pins one via stripe_offset); randomising the
+  // pick per repetition lets background noise land on it sometimes, which
+  // is where the single-writer variance of Figure 2's band comes from.
+  cfg.target_ost = static_cast<lustre::OstIndex>(seed % rig.fs.params().ost_count);
+
+  Observation obs;
+  obs.probe = ior::run_probe(rig.rt, cfg);
+  obs.metric = obs.probe.mean_mbps;
+  return obs;
+}
+
+}  // namespace
+
+void spawn_noise(lustre::FileSystem& fs,
+                 std::vector<std::unique_ptr<lustre::Client>>& clients,
+                 const NoiseSpec& noise, std::uint64_t seed) {
+  lustre::StripeSettings settings;
+  settings.stripe_count = noise.stripes;
+  settings.stripe_size = noise.stripe_size;
+  for (unsigned w = 0; w < noise.writers; ++w) {
+    clients.push_back(std::make_unique<lustre::Client>(
+        fs, "noise" + std::to_string(w)));
+    fs.engine().spawn(noise_writer(
+        *clients.back(), "/noise." + std::to_string(seed % 1000) + "." + std::to_string(w),
+        settings, noise.bytes_per_writer, noise.transfer_size));
+  }
+}
+
+Observation run_scenario(const Scenario& scenario, std::uint64_t seed) {
+  scenario.validate();
+  Observation obs;
+  switch (scenario.workload) {
+    case Workload::ior:
+      obs = run_ior_like(scenario, seed, /*plfs_census=*/false);
+      break;
+    case Workload::plfs:
+      obs = run_ior_like(scenario, seed, /*plfs_census=*/true);
+      break;
+    case Workload::multi:
+      obs = run_multi(scenario, seed);
+      break;
+    case Workload::probe:
+      obs = run_probe(scenario, seed);
+      break;
+  }
+  obs.workload = scenario.workload;
+  obs.seed = seed;
+  return obs;
+}
+
+}  // namespace pfsc::harness

@@ -1,0 +1,119 @@
+// Unified scenario description for the experiment harness.
+//
+// A Scenario says *what to run*: which workload shape (a single IOR job,
+// a PLFS-backed IOR job, N contending IOR jobs, or the single-OST probe),
+// on which platform, with what MPI-IO hints and how much background noise.
+// `run_scenario(scenario, seed)` builds a fresh engine + file system +
+// runtime from the seed, runs the workload to completion, and returns an
+// Observation. Fresh-state-per-run keeps repetitions independent, exactly
+// like resubmitting a batch job — and is what lets ParallelRunner execute
+// plan points on concurrent threads with bit-identical per-seed results.
+//
+// Sweeps and repetitions over a Scenario are described by harness::RunPlan
+// (run_plan.hpp) and executed by harness::ParallelRunner (runner.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "hw/platform.hpp"
+#include "ior/ior.hpp"
+#include "ior/probe.hpp"
+#include "trace/telemetry.hpp"
+
+namespace pfsc::harness {
+
+// ---------------------------------------------------------------------------
+// Background noise: lscratchc is a shared-user file system ("there is some
+// variance in performance with no forced contention"). Optional independent
+// writers with default layouts run alongside any scenario.
+// ---------------------------------------------------------------------------
+struct NoiseSpec {
+  unsigned writers = 0;
+  Bytes bytes_per_writer = 256_MiB;
+  Bytes transfer_size = 1_MiB;
+  std::uint32_t stripes = 2;  // background users rarely tune
+  Bytes stripe_size = 1_MiB;
+};
+
+/// Spawn the background writers on `fs` (each an independent client with a
+/// default-layout file, started immediately). The engine owns the spawned
+/// processes; `clients` receives ownership of the Client objects and must
+/// outlive the run.
+void spawn_noise(lustre::FileSystem& fs,
+                 std::vector<std::unique_ptr<lustre::Client>>& clients,
+                 const NoiseSpec& noise, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Scenario: what to run.
+// ---------------------------------------------------------------------------
+
+enum class Workload {
+  ior,    // one IOR job through MPI-IO (Fig. 1 sweep points, Fig. 5 curves)
+  plfs,   // IOR through ad_plfs with a backend collision census (Tables VIII/IX)
+  multi,  // N simultaneous IOR jobs in one MPI world via comm_split (Figs. 3/4)
+  probe,  // single-OST contention probe (Fig. 2)
+};
+
+const char* workload_name(Workload w);
+
+struct Scenario {
+  Workload workload = Workload::ior;
+
+  // -- job topology ------------------------------------------------------
+  int nprocs = 1024;        // ranks per job (ior/plfs) or per probe writer set
+  int procs_per_node = 16;
+  int jobs = 4;             // multi only: number of contending jobs
+
+  // -- probe-only knobs ---------------------------------------------------
+  std::uint32_t writers = 1;
+  Bytes bytes_per_writer = 64_MiB;
+
+  // -- workload description (ignored by probe) ----------------------------
+  ior::Config ior;
+
+  // -- environment ---------------------------------------------------------
+  hw::PlatformParams platform = hw::cab_lscratchc();
+  NoiseSpec noise;  // writers == 0: quiet system
+
+  /// > 0: attach a telemetry sampler at this interval and return the
+  /// aggregate-bandwidth timeline in Observation::bandwidth.
+  Seconds telemetry_interval = 0.0;
+
+  /// Throws UsageError when the fields are inconsistent (e.g. a multi
+  /// scenario routed through ad_plfs, or zero jobs/writers).
+  void validate() const;
+};
+
+// ---------------------------------------------------------------------------
+// Observation: everything one scenario run measured.
+// ---------------------------------------------------------------------------
+struct Observation {
+  Workload workload = Workload::ior;
+  std::uint64_t seed = 0;
+
+  /// ior/plfs: the job's result. multi: aggregate with write_mbps set to the
+  /// per-job mean. probe: unused.
+  ior::Result ior;
+  /// multi only: one result per job, in job order.
+  std::vector<ior::Result> per_job;
+  double total_mbps = 0.0;  // multi only: sum over jobs
+  /// plfs: per-OST data-file occupancy census. multi: cross-job OST census.
+  core::ObservedContention contention;
+  /// probe only.
+  ior::ProbeResult probe;
+  /// Aggregate-bandwidth timeline when telemetry_interval > 0.
+  trace::Series bandwidth;
+
+  /// The scenario's headline number: write (or read-only) MB/s for
+  /// ior/plfs, mean per-job write MB/s for multi, mean per-process MB/s
+  /// for the probe.
+  double metric = 0.0;
+};
+
+/// Run one scenario to completion on a fresh deterministic simulation.
+Observation run_scenario(const Scenario& scenario, std::uint64_t seed);
+
+}  // namespace pfsc::harness

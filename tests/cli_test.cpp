@@ -1,0 +1,150 @@
+// FlagTable / strict-parsing behaviour: bad values must throw UsageError
+// (never the silent std::atoi zero the old CLI had), aliases must resolve,
+// and the scenario flag table must actually drive Scenario/RunPlan fields.
+#include <gtest/gtest.h>
+
+#include "harness/cli.hpp"
+
+namespace pfsc::harness::cli {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  out.reserve(args.size());
+  for (auto& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(CliParse, StrictIntegers) {
+  EXPECT_EQ(parse_int("--x", "42"), 42);
+  EXPECT_EQ(parse_int("--x", "-7"), -7);
+  EXPECT_THROW(parse_int("--x", ""), UsageError);
+  EXPECT_THROW(parse_int("--x", "abc"), UsageError);
+  EXPECT_THROW(parse_int("--x", "12abc"), UsageError);  // trailing garbage
+  EXPECT_THROW(parse_int("--x", "1.5"), UsageError);
+  EXPECT_THROW(parse_uint("--x", "-1"), UsageError);
+}
+
+TEST(CliParse, StrictDoubles) {
+  EXPECT_DOUBLE_EQ(parse_double("--x", "0.25"), 0.25);
+  EXPECT_THROW(parse_double("--x", "0.25s"), UsageError);
+  EXPECT_THROW(parse_double("--x", ""), UsageError);
+}
+
+TEST(CliParse, ByteSuffixes) {
+  EXPECT_EQ(parse_bytes("--x", "512"), 512u);
+  EXPECT_EQ(parse_bytes("--x", "4K"), 4_KiB);
+  EXPECT_EQ(parse_bytes("--x", "64M"), 64_MiB);
+  EXPECT_EQ(parse_bytes("--x", "64MB"), 64_MiB);
+  EXPECT_EQ(parse_bytes("--x", "64MiB"), 64_MiB);
+  EXPECT_EQ(parse_bytes("--x", "2G"), 2_GiB);
+  EXPECT_EQ(parse_bytes("--x", "1T"), 1024_GiB);
+  EXPECT_EQ(parse_bytes("--x", "128B"), 128u);
+  EXPECT_THROW(parse_bytes("--x", "64Q"), UsageError);
+  EXPECT_THROW(parse_bytes("--x", "64Mx"), UsageError);
+  EXPECT_THROW(parse_bytes("--x", "M"), UsageError);
+  EXPECT_THROW(parse_bytes("--x", ""), UsageError);
+}
+
+TEST(CliTable, BindsAndAliases) {
+  int count = 0;
+  Bytes size = 0;
+  FlagTable table;
+  table.bind("--count", count, "how many");
+  table.alias("--n");
+  table.bind_bytes("--size", size, "how big");
+
+  std::vector<std::string> args = {"prog", "--n", "3", "--size", "2M"};
+  auto argv = argv_of(args);
+  table.parse(static_cast<int>(argv.size()), argv.data(), 1);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(size, 2_MiB);
+}
+
+TEST(CliTable, RejectsUnknownFlagAndMissingValue) {
+  int count = 0;
+  FlagTable table;
+  table.bind("--count", count, "how many");
+
+  std::vector<std::string> unknown = {"prog", "--bogus", "1"};
+  auto argv1 = argv_of(unknown);
+  EXPECT_THROW(table.parse(static_cast<int>(argv1.size()), argv1.data(), 1),
+               UsageError);
+
+  std::vector<std::string> missing = {"prog", "--count"};
+  auto argv2 = argv_of(missing);
+  EXPECT_THROW(table.parse(static_cast<int>(argv2.size()), argv2.data(), 1),
+               UsageError);
+
+  std::vector<std::string> garbage = {"prog", "--count", "12x"};
+  auto argv3 = argv_of(garbage);
+  EXPECT_THROW(table.parse(static_cast<int>(argv3.size()), argv3.data(), 1),
+               UsageError);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(CliTable, DuplicateFlagRejected) {
+  int a = 0;
+  int b = 0;
+  FlagTable table;
+  table.bind("--x", a, "first");
+  EXPECT_THROW(table.bind("--x", b, "second"), UsageError);
+  EXPECT_THROW(table.alias("--x"), UsageError);
+}
+
+TEST(CliScenarioFlags, DrivesScenarioAndPlan) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  std::vector<std::string> args = {
+      "prog",          "--nprocs",  "256",   "--ppn",    "8",
+      "--stripes",     "16",        "--striping_unit",   "4M",
+      "--noise_writers", "6",       "--reps", "5",
+      "--seed",        "99",        "--threads", "4"};
+  auto argv = argv_of(args);
+  table.parse(static_cast<int>(argv.size()), argv.data(), 1);
+
+  EXPECT_EQ(scenario.nprocs, 256);
+  EXPECT_EQ(scenario.procs_per_node, 8);
+  EXPECT_EQ(scenario.ior.hints.striping_factor, 16u);
+  EXPECT_EQ(scenario.ior.hints.striping_unit, 4_MiB);
+  EXPECT_EQ(scenario.noise.writers, 6u);
+  EXPECT_EQ(plan.reps(), 5u);
+  EXPECT_EQ(plan.seed(), 99u);
+  EXPECT_EQ(threads, 4u);
+}
+
+TEST(CliScenarioFlags, HintsStringRejectsUnknownKey) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  std::vector<std::string> good = {"prog", "--hints",
+                                   "striping_factor=8;romio_cb_write=disable"};
+  auto argv1 = argv_of(good);
+  table.parse(static_cast<int>(argv1.size()), argv1.data(), 1);
+  EXPECT_EQ(scenario.ior.hints.striping_factor, 8u);
+
+  std::vector<std::string> bad = {"prog", "--hints", "no_such_hint=1"};
+  auto argv2 = argv_of(bad);
+  EXPECT_THROW(table.parse(static_cast<int>(argv2.size()), argv2.data(), 1),
+               UsageError);
+}
+
+TEST(CliScenarioFlags, UsageListsFieldNamesAndAliases) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+  const std::string usage = table.usage();
+  EXPECT_NE(usage.find("--nprocs"), std::string::npos);
+  EXPECT_NE(usage.find("--striping_factor"), std::string::npos);
+  EXPECT_NE(usage.find("--stripes"), std::string::npos);  // alias survives
+  EXPECT_NE(usage.find("--threads"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfsc::harness::cli

@@ -2,7 +2,7 @@
 // and the background-noise injector.
 #include <gtest/gtest.h>
 
-#include "harness/experiments.hpp"
+#include "harness/scenario.hpp"
 #include "ior/ior.hpp"
 #include "plfs/plfs.hpp"
 
@@ -94,7 +94,7 @@ TEST(IorReorder, ShiftWrapsAround) {
 
 TEST(Noise, BackgroundWritersConsumeBandwidth) {
   auto run = [](unsigned writers) {
-    harness::IorRunSpec spec;
+    harness::Scenario spec;
     spec.platform = hw::tiny_test_platform();
     spec.nprocs = 8;
     spec.procs_per_node = 4;
@@ -106,7 +106,7 @@ TEST(Noise, BackgroundWritersConsumeBandwidth) {
     spec.noise.writers = writers;
     spec.noise.bytes_per_writer = 64_MiB;
     spec.noise.stripes = 2;
-    const auto res = harness::run_single_ior(spec, 123);
+    const auto res = harness::run_scenario(spec, 123).ior;
     PFSC_ASSERT(res.err == lustre::Errno::ok);
     return res.write_mbps;
   };
@@ -123,7 +123,7 @@ TEST(Noise, WritersActuallyWriteData) {
   harness::NoiseSpec noise;
   noise.writers = 3;
   noise.bytes_per_writer = 8_MiB;
-  harness::spawn_background_noise(fs, clients, noise, 1);
+  harness::spawn_noise(fs, clients, noise, 1);
   eng.run();
   EXPECT_EQ(fs.total_bytes_written(), 3u * 8_MiB);
   EXPECT_EQ(clients.size(), 3u);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "harness/experiments.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
 #include "ior/ior.hpp"
 #include "ior/probe.hpp"
 #include "plfs/plfs.hpp"
@@ -104,22 +105,24 @@ TEST(Ior, MoreStripesIsFasterOnQuietSystem) {
 }
 
 TEST(Probe, SingleWriterBaseline) {
-  harness::ProbeSpec spec;
+  harness::Scenario spec;
+  spec.workload = harness::Workload::probe;
   spec.platform = hw::tiny_test_platform();
   spec.writers = 1;
   spec.bytes_per_writer = 16_MiB;
-  const auto res = harness::run_probe_experiment(spec, 3);
+  const auto res = harness::run_scenario(spec, 3).probe;
   ASSERT_EQ(res.per_process_mbps.size(), 1u);
   EXPECT_GT(res.mean_mbps, 0.0);
 }
 
 TEST(Probe, ContentionDegradesPerProcessBandwidth) {
   auto mean_bw = [](std::uint32_t writers) {
-    harness::ProbeSpec spec;
+    harness::Scenario spec;
+    spec.workload = harness::Workload::probe;
     spec.platform = hw::tiny_test_platform();
     spec.writers = writers;
     spec.bytes_per_writer = 64_MiB;  // long enough to reach steady state
-    return harness::run_probe_experiment(spec, 3).mean_mbps;
+    return harness::run_scenario(spec, 3).probe.mean_mbps;
   };
   const double bw1 = mean_bw(1);
   const double bw4 = mean_bw(4);
@@ -130,13 +133,14 @@ TEST(Probe, ContentionDegradesPerProcessBandwidth) {
 }
 
 TEST(Harness, MultiJobRunsAllJobs) {
-  harness::MultiJobSpec spec;
+  harness::Scenario spec;
+  spec.workload = harness::Workload::multi;
   spec.platform = hw::tiny_test_platform();
   spec.jobs = 2;
-  spec.procs_per_job = 4;
+  spec.nprocs = 4;
   spec.procs_per_node = 4;
   spec.ior = small_config(mpiio::Driver::ad_lustre);
-  const auto res = harness::run_multi_ior(spec, 11);
+  const auto res = harness::run_scenario(spec, 11);
   ASSERT_EQ(res.per_job.size(), 2u);
   for (const auto& job : res.per_job) {
     EXPECT_EQ(job.err, Errno::ok);
@@ -158,45 +162,54 @@ TEST(Harness, ContendedJobsSlowerThanSolo) {
   cfg.segment_count = 4;
   cfg.hints.striping_factor = 8;  // all OSTs of the tiny platform
 
-  harness::IorRunSpec solo;
+  harness::Scenario solo;
   solo.platform = hw::tiny_test_platform();
   solo.nprocs = 4;
   solo.procs_per_node = 4;
   solo.ior = cfg;
-  const double solo_bw = harness::run_single_ior(solo, 13).write_mbps;
+  const double solo_bw = harness::run_scenario(solo, 13).ior.write_mbps;
 
-  harness::MultiJobSpec multi;
+  harness::Scenario multi;
+  multi.workload = harness::Workload::multi;
   multi.platform = hw::tiny_test_platform();
   multi.jobs = 3;
-  multi.procs_per_job = 4;
+  multi.nprocs = 4;
   multi.procs_per_node = 4;
   multi.ior = cfg;
-  const auto res = harness::run_multi_ior(multi, 13);
+  const auto res = harness::run_scenario(multi, 13);
   for (const auto& job : res.per_job) {
     EXPECT_LT(job.write_mbps, solo_bw);
   }
 }
 
-TEST(Harness, RepeatComputesCi) {
-  const auto stats = harness::repeat(5, 17, [](std::uint64_t seed) {
-    return 100.0 + static_cast<double>(seed % 10);
-  });
-  EXPECT_EQ(stats.samples.size(), 5u);
-  EXPECT_GE(stats.ci.upper, stats.ci.mean);
-  EXPECT_LE(stats.ci.lower, stats.ci.mean);
+TEST(Harness, RunnerComputesCi) {
+  harness::Scenario spec;
+  spec.workload = harness::Workload::probe;
+  spec.platform = hw::tiny_test_platform();
+  spec.writers = 2;
+  spec.bytes_per_writer = 8_MiB;
+  harness::RunPlan plan;
+  plan.repetitions(5).base_seed(17);
+  const auto set = harness::ParallelRunner(1).run(spec, plan);
+  ASSERT_EQ(set.size(), 1u);
+  const auto& pt = set.point(0);
+  EXPECT_EQ(pt.samples.size(), 5u);
+  EXPECT_GE(pt.ci.upper, pt.ci.mean);
+  EXPECT_LE(pt.ci.lower, pt.ci.mean);
 }
 
 TEST(Harness, PlfsRunReportsBackendCensus) {
-  harness::IorRunSpec spec;
+  harness::Scenario spec;
+  spec.workload = harness::Workload::plfs;
   spec.platform = hw::tiny_test_platform();
   spec.nprocs = 8;
   spec.procs_per_node = 4;
   spec.ior = small_config(mpiio::Driver::ad_plfs);
-  const auto res = harness::run_plfs_ior(spec, 19);
+  const auto res = harness::run_scenario(spec, 19);
   EXPECT_EQ(res.ior.err, Errno::ok);
   // 8 data files x 2 stripes = 16 stripe placements.
-  EXPECT_DOUBLE_EQ(res.backend.d_req, 16.0);
-  EXPECT_GT(res.backend.d_load, 1.0);  // 16 stripes on 8 OSTs must collide
+  EXPECT_DOUBLE_EQ(res.contention.d_req, 16.0);
+  EXPECT_GT(res.contention.d_load, 1.0);  // 16 stripes on 8 OSTs must collide
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 
 #include <map>
 
-#include "harness/experiments.hpp"
+#include "harness/scenario.hpp"
 #include "plfs/plfs.hpp"
 
 namespace pfsc {
@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------------------------------------------------------------------------
 
 TEST(Determinism, SameSeedSameResult) {
-  harness::IorRunSpec spec;
+  harness::Scenario spec;
   spec.platform = hw::tiny_test_platform();
   spec.nprocs = 8;
   spec.procs_per_node = 4;
@@ -91,8 +91,8 @@ TEST(Determinism, SameSeedSameResult) {
   spec.ior.hints.driver = mpiio::Driver::ad_lustre;
   spec.ior.hints.striping_factor = 4;
   spec.ior.hints.striping_unit = 1_MiB;
-  const auto a = harness::run_single_ior(spec, 12345);
-  const auto b = harness::run_single_ior(spec, 12345);
+  const auto a = harness::run_scenario(spec, 12345).ior;
+  const auto b = harness::run_scenario(spec, 12345).ior;
   EXPECT_DOUBLE_EQ(a.write_mbps, b.write_mbps);
   EXPECT_DOUBLE_EQ(a.write_time, b.write_time);
 }
@@ -117,12 +117,8 @@ TEST(Determinism, DifferentSeedsDifferentPlacement) {
 
 TEST(Determinism, EngineEventCountIsStable) {
   auto events = [] {
-    harness::ProbeSpec spec;
-    spec.platform = hw::tiny_test_platform();
-    spec.writers = 4;
-    spec.bytes_per_writer = 4_MiB;
     sim::Engine eng;
-    lustre::FileSystem fs(eng, spec.platform, 7);
+    lustre::FileSystem fs(eng, hw::tiny_test_platform(), 7);
     mpi::Runtime rt(fs, 4, 4);
     ior::ProbeConfig cfg;
     cfg.num_writers = 4;

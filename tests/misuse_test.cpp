@@ -2,7 +2,9 @@
 // must throw UsageError rather than corrupt simulation state.
 #include <gtest/gtest.h>
 
-#include "harness/experiments.hpp"
+#include "harness/run_plan.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
 #include "ior/probe.hpp"
 #include "mpi/runtime.hpp"
 #include "trace/telemetry.hpp"
@@ -91,14 +93,39 @@ TEST(Misuse, SamplerGuards) {
   EXPECT_THROW(sampler.series(0), UsageError);
 }
 
-TEST(Misuse, HarnessGuards) {
-  EXPECT_THROW(harness::repeat(0, 1, [](std::uint64_t) { return 0.0; }),
-               UsageError);
-  harness::MultiJobSpec bad;
+TEST(Misuse, ScenarioGuards) {
+  harness::Scenario bad;
+  bad.workload = harness::Workload::multi;
   bad.jobs = 0;
-  EXPECT_THROW(harness::run_multi_ior(bad, 1), UsageError);
-  harness::IorRunSpec plfs_spec;  // wrong driver for run_plfs_ior
-  EXPECT_THROW(harness::run_plfs_ior(plfs_spec, 1), UsageError);
+  EXPECT_THROW(bad.validate(), UsageError);
+
+  harness::Scenario plfs_spec;  // plfs workload needs the ad_plfs driver
+  plfs_spec.workload = harness::Workload::plfs;
+  EXPECT_THROW(plfs_spec.validate(), UsageError);
+
+  harness::Scenario probe_telemetry;  // probe does not support telemetry
+  probe_telemetry.workload = harness::Workload::probe;
+  probe_telemetry.telemetry_interval = 1.0;
+  EXPECT_THROW(probe_telemetry.validate(), UsageError);
+
+  harness::Scenario no_procs;
+  no_procs.nprocs = 0;
+  EXPECT_THROW(no_procs.validate(), UsageError);
+}
+
+TEST(Misuse, RunPlanGuards) {
+  harness::RunPlan plan;
+  EXPECT_THROW(plan.repetitions(0), UsageError);
+  plan.sweep_nprocs({16, 32});
+  // Sweeping the same axis twice would silently overwrite one assignment
+  // per point; it must be rejected up front.
+  EXPECT_THROW(plan.sweep_nprocs({64}), UsageError);
+  EXPECT_THROW(plan.sweep("nprocs", {64.0}, [](harness::Scenario&, double) {}),
+               UsageError);
+  EXPECT_THROW(plan.sweep("", {1.0}, [](harness::Scenario&, double) {}),
+               UsageError);
+  EXPECT_THROW(plan.sweep("empty", {}, [](harness::Scenario&, double) {}),
+               UsageError);
 }
 
 }  // namespace

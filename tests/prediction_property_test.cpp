@@ -4,7 +4,9 @@
 // bench table.
 #include <gtest/gtest.h>
 
-#include "harness/experiments.hpp"
+#include "harness/scenario.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
 
 namespace pfsc {
 namespace {
@@ -18,14 +20,15 @@ TEST_P(PredictionSweep, MeasuredCensusTracksEquations) {
   RunningStats load;
   Rng seeder(0xCAFE + r);
   for (int rep = 0; rep < 3; ++rep) {
-    harness::MultiJobSpec spec;
+    harness::Scenario spec;
+    spec.workload = harness::Workload::multi;
     spec.jobs = static_cast<int>(jobs);
-    spec.procs_per_job = 16;  // small jobs: the census depends only on layout
+    spec.nprocs = 16;  // small jobs: the census depends only on layout
     spec.ior.segment_count = 2;
     spec.ior.hints.driver = mpiio::Driver::ad_lustre;
     spec.ior.hints.striping_factor = r;
     spec.ior.hints.striping_unit = 128_MiB;
-    const auto res = harness::run_multi_ior(spec, seeder.next_u64());
+    const auto res = harness::run_scenario(spec, seeder.next_u64());
     for (const auto& job : res.per_job) {
       ASSERT_EQ(job.err, lustre::Errno::ok);
       ASSERT_TRUE(job.verified);
@@ -46,14 +49,16 @@ INSTANTIATE_TEST_SUITE_P(StripeSweep, PredictionSweep,
 
 TEST(PredictionPlfs, BackendLoadTracksEq6) {
   for (int procs : {128, 512}) {
-    harness::IorRunSpec spec;
+    harness::Scenario spec;
+    spec.workload = harness::Workload::plfs;
     spec.nprocs = procs;
     spec.ior.segment_count = 2;
     spec.ior.hints.driver = mpiio::Driver::ad_plfs;
-    const auto res = harness::run_plfs_ior(spec, 0xFACE + static_cast<unsigned>(procs));
+    const auto res =
+        harness::run_scenario(spec, 0xFACE + static_cast<unsigned>(procs));
     ASSERT_EQ(res.ior.err, lustre::Errno::ok);
     const double pred = core::plfs_d_load(static_cast<unsigned>(procs), 480);
-    EXPECT_NEAR(res.backend.d_load, pred, pred * 0.08) << procs << " procs";
+    EXPECT_NEAR(res.contention.d_load, pred, pred * 0.08) << procs << " procs";
   }
 }
 
@@ -63,19 +68,20 @@ TEST(PredictionSlowdown, OrderStatisticsBeatMeanLoadAtFullScale) {
   // slowest-OST model or the mean load. This only holds at full scale —
   // small jobs are aggregator-bound, not worst-OST-bound — which is itself
   // part of the claim (see EXPERIMENTS.md E4).
-  harness::IorRunSpec solo;
+  harness::Scenario solo;
   solo.nprocs = 1024;  // full Table II workload: the effect is volume-driven
   solo.ior.hints.driver = mpiio::Driver::ad_lustre;
   solo.ior.hints.striping_factor = 160;
   solo.ior.hints.striping_unit = 128_MiB;
-  const double solo_bw = harness::run_single_ior(solo, 0xBEEF).write_mbps;
+  const double solo_bw = harness::run_scenario(solo, 0xBEEF).ior.write_mbps;
 
-  harness::MultiJobSpec multi;
+  harness::Scenario multi;
+  multi.workload = harness::Workload::multi;
   multi.jobs = 4;
-  multi.procs_per_job = 1024;
+  multi.nprocs = 1024;
   multi.ior.hints = solo.ior.hints;
-  const auto res = harness::run_multi_ior(multi, 0xBEEF);
-  const double measured_slowdown = solo_bw / res.mean_mbps;
+  const auto res = harness::run_scenario(multi, 0xBEEF);
+  const double measured_slowdown = solo_bw / res.metric;
 
   const double mean_load = core::d_load(160, 4, 480);                    // 1.66
   const double order_stat = core::predicted_job_slowdown(480, 4, 160);   // ~4.0
