@@ -9,6 +9,7 @@
 #include "lustre/extent_map.hpp"
 #include "mpiio/two_phase.hpp"
 #include "sim/engine.hpp"
+#include "sim/link.hpp"
 #include "sim/resources.hpp"
 #include "sim/task.hpp"
 #include "support/rng.hpp"
@@ -77,6 +78,34 @@ void BM_DiskServiceInterleaved(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kRequests);
 }
 BENCHMARK(BM_DiskServiceInterleaved)->Arg(1)->Arg(16);
+
+sim::Task fair_share_flow(sim::Engine& eng, sim::FairSharePipe& pipe,
+                          Seconds start, Bytes bytes) {
+  if (start > 0.0) co_await eng.delay(start);
+  co_await pipe.transfer(bytes);
+}
+
+// Guards the O(log n) per-arrival/departure claim of the processor-sharing
+// link: doubling the in-flight flow count must not blow past the heap's
+// logarithmic growth (a linear rescan per event would show up as ~10x
+// per-item cost between 1,000 and 10,000 flows).
+void BM_FairSharePipeFlows(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::FairSharePipe pipe(eng, mb_per_sec(1000.0));
+    // Staggered arrivals so the flow set churns while thousands are in
+    // flight (each arrival re-costs the heap; each departure re-arms).
+    for (int i = 0; i < flows; ++i) {
+      eng.spawn(fair_share_flow(eng, pipe, 1.0e-6 * static_cast<double>(i),
+                                1_MiB));
+    }
+    eng.run();
+    benchmark::DoNotOptimize(pipe.bytes_moved());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FairSharePipeFlows)->Arg(1000)->Arg(10000);
 
 void BM_MetricsContentionTable(benchmark::State& state) {
   for (auto _ : state) {

@@ -11,17 +11,10 @@ DiskModel::DiskModel(sim::Engine& eng, DiskParams params)
   eng.spawn(service_loop());
 }
 
-std::size_t DiskModel::runnable_streams() const {
-  std::size_t n = 0;
-  for (const auto& [stream, q] : queues_) {
-    if (!q.pending.empty()) ++n;
-  }
-  return n;
-}
-
 void DiskModel::enqueue(Request req) {
   auto [it, inserted] = queues_.try_emplace(req.stream);
   if (it->second.pending.empty()) {
+    ++runnable_;
     // Stream becomes runnable: add to the rotation unless it is the one
     // currently being drained.
     if (!(have_current_ && req.stream == current_stream_)) {
@@ -43,6 +36,12 @@ void DiskModel::forget_stream(StreamId stream) {
   auto it = queues_.find(stream);
   if (it != queues_.end() && it->second.pending.empty()) queues_.erase(it);
   next_offset_.erase(stream);
+  // A closed stream can never be serviced again, so it must stop counting
+  // towards the hot working set (long-running simulations that create and
+  // unlink many files would otherwise overstate contention).
+  if (hot_counts_.erase(stream) > 0) {
+    std::erase(hot_ring_, stream);
+  }
 }
 
 Seconds DiskModel::service_time(const Request& req, bool switched) {
@@ -154,6 +153,7 @@ sim::Task DiskModel::service_loop() {
     Request req = std::move(pick->second);
     q.erase(pick);
     --queued_;
+    if (q.empty()) --runnable_;
     ++batch_used_;
 
     // Maintain the hot-stream window before costing the request.

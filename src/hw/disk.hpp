@@ -107,8 +107,9 @@ class DiskModel {
   std::uint64_t seeks() const { return seeks_; }
   Seconds busy_time() const { return busy_time_; }
   Seconds seek_time_total() const { return seek_time_total_; }
-  /// Streams with at least one queued request right now.
-  std::size_t runnable_streams() const;
+  /// Streams with at least one queued request right now (O(1): maintained
+  /// incrementally, not recomputed by scanning the stream table).
+  std::size_t runnable_streams() const { return runnable_; }
   std::size_t queue_depth() const { return queued_; }
   /// High-water mark of concurrently runnable streams.
   std::size_t max_runnable_streams() const { return max_runnable_; }
@@ -145,6 +146,7 @@ class DiskModel {
   bool have_current_ = false;
   std::uint32_t batch_used_ = 0;
   std::size_t queued_ = 0;
+  std::size_t runnable_ = 0;
 
   Bytes bytes_serviced_ = 0;
   std::uint64_t requests_ = 0;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "hw/disk.hpp"
+#include "sim/link.hpp"
 #include "support/units.hpp"
 
 namespace pfsc::hw {
@@ -32,6 +33,14 @@ struct PlatformParams {
   // -- file-system fabric ----------------------------------------------
   /// Aggregate islanded-I/O-network capacity (all clients -> all servers).
   BytesPerSecond fabric_bw = mb_per_sec(24000.0);
+
+  // -- link sharing -------------------------------------------------------
+  /// How concurrent flows share every bandwidth link (per-process pipe,
+  /// node NIC, fabric, OSS front end). `fifo` is the historical
+  /// store-and-forward server; `fair_share` is the processor-sharing model
+  /// where n concurrent flows each see rate/n simultaneously. See
+  /// sim/link.hpp and DESIGN.md for when each is appropriate.
+  sim::LinkPolicy link_policy = sim::LinkPolicy::fifo;
 
   // -- servers -----------------------------------------------------------
   std::uint32_t oss_count = 32;

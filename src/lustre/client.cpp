@@ -4,11 +4,12 @@
 
 namespace pfsc::lustre {
 
-Client::Client(FileSystem& fs, std::string name, sim::BandwidthPipe* node_nic)
+Client::Client(FileSystem& fs, std::string name, sim::LinkModel* node_nic)
     : fs_(&fs),
       eng_(&fs.engine()),
       name_(std::move(name)),
-      proc_pipe_(fs.engine(), fs.params().per_process_bw),
+      proc_pipe_(sim::make_link(fs.engine(), fs.params().link_policy,
+                                fs.params().per_process_bw)),
       node_nic_(node_nic),
       rpc_slots_(fs.engine(), fs.params().client_max_rpcs_in_flight),
       writeback_space_(fs.engine()),
@@ -36,7 +37,7 @@ sim::Task Client::rpc(OstIndex ost, ObjectId object, Bytes object_offset,
     co_return;
   }
   const Seconds latency = fs_->params().rpc_latency;
-  co_await proc_pipe_.transfer(bytes);
+  co_await proc_pipe_->transfer(bytes);
   if (node_nic_ != nullptr) co_await node_nic_->transfer(bytes);
   co_await fs_->fabric().transfer(bytes);
   co_await eng_->delay(latency);
@@ -48,7 +49,7 @@ sim::Task Client::rpc(OstIndex ost, ObjectId object, Bytes object_offset,
 }
 
 sim::Co<void> Client::local_copy(Bytes bytes) {
-  if (bytes > 0) co_await proc_pipe_.transfer(bytes);
+  if (bytes > 0) co_await proc_pipe_->transfer(bytes);
 }
 
 sim::Task Client::drain_buffered(InodeId file, Bytes offset, Bytes length) {

@@ -1,14 +1,16 @@
 // Lustre client: the per-process data path.
 //
 // A Client owns the process-local I/O ceiling (one core's worth of memcpy +
-// RPC stack) and optionally shares a node NIC pipe with the other clients
+// RPC stack) and optionally shares a node NIC link with the other clients
 // on its node. write()/read() decompose an extent into per-object bulk RPCs
 // (capped at max_rpc_size) and pipeline them with at most
 // `client_max_rpcs_in_flight` outstanding, each flowing
 //
-//   process pipe -> node NIC -> fabric -> OSS pipe -> OST disk
+//   process link -> node NIC -> fabric -> OSS link -> OST disk
 //
 // which is where every bandwidth effect in the paper's experiments arises.
+// Every hop is a sim::LinkModel, so the platform's link_policy decides
+// whether concurrent RPCs queue (FIFO) or share capacity (fair-share).
 #pragma once
 
 #include <memory>
@@ -22,7 +24,7 @@ class Client {
  public:
   /// `node_nic` may be shared by several clients (one per node); pass
   /// nullptr for a client with no node-level bottleneck.
-  Client(FileSystem& fs, std::string name, sim::BandwidthPipe* node_nic = nullptr);
+  Client(FileSystem& fs, std::string name, sim::LinkModel* node_nic = nullptr);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -58,8 +60,8 @@ class Client {
   FileSystem& fs() { return *fs_; }
   /// Identity of this client's node (clients sharing a NIC share a node).
   const void* node_key() const { return node_nic_; }
-  /// Per-process pipe statistics (diagnostics/benchmarks).
-  const sim::BandwidthPipe& proc_pipe() const { return proc_pipe_; }
+  /// Per-process link statistics (diagnostics/benchmarks).
+  const sim::LinkModel& proc_pipe() const { return *proc_pipe_; }
 
  private:
   struct IoState {
@@ -74,8 +76,8 @@ class Client {
   FileSystem* fs_;
   sim::Engine* eng_;
   std::string name_;
-  sim::BandwidthPipe proc_pipe_;
-  sim::BandwidthPipe* node_nic_;
+  std::unique_ptr<sim::LinkModel> proc_pipe_;
+  sim::LinkModel* node_nic_;
   sim::Resource rpc_slots_;
   Bytes bytes_written_ = 0;
   Bytes bytes_read_ = 0;

@@ -26,10 +26,10 @@ FileSystem::FileSystem(sim::Engine& eng, hw::PlatformParams params,
       mds_slots_(eng, params_.mds_parallelism) {
   PFSC_REQUIRE(params_.ost_count > 0 && params_.oss_count > 0,
                "FileSystem: need at least one OSS and OST");
-  fabric_ = std::make_unique<sim::BandwidthPipe>(eng, params_.fabric_bw);
+  fabric_ = sim::make_link(eng, params_.link_policy, params_.fabric_bw);
   oss_pipes_.reserve(params_.oss_count);
   for (std::uint32_t i = 0; i < params_.oss_count; ++i) {
-    oss_pipes_.push_back(std::make_unique<sim::BandwidthPipe>(eng, params_.oss_bw));
+    oss_pipes_.push_back(sim::make_link(eng, params_.link_policy, params_.oss_bw));
   }
   ost_disks_.reserve(params_.ost_count);
   for (std::uint32_t i = 0; i < params_.ost_count; ++i) {
@@ -347,7 +347,7 @@ hw::DiskModel& FileSystem::ost_disk(OstIndex ost) {
   return *ost_disks_[ost];
 }
 
-sim::BandwidthPipe& FileSystem::oss_pipe_for_ost(OstIndex ost) {
+sim::LinkModel& FileSystem::oss_pipe_for_ost(OstIndex ost) {
   PFSC_REQUIRE(ost < params_.ost_count, "oss_pipe_for_ost: bad OST index");
   // Consecutive OSTs are spread across servers, as in real deployments.
   return *oss_pipes_[ost % params_.oss_count];

@@ -27,6 +27,7 @@
 #include "lustre/extent_map.hpp"
 #include "lustre/layout.hpp"
 #include "sim/engine.hpp"
+#include "sim/link.hpp"
 #include "sim/resources.hpp"
 #include "sim/task.hpp"
 #include "support/rng.hpp"
@@ -86,10 +87,13 @@ class FileSystem {
   std::vector<InodeId> files_under(std::string_view dir_path) const;
 
   // -- data-path plumbing used by lustre::Client -------------------------
+  // All links are built through sim::make_link following
+  // params().link_policy, so every data path shares capacity under the
+  // platform's configured model.
   hw::DiskModel& ost_disk(OstIndex ost);
-  sim::BandwidthPipe& oss_pipe_for_ost(OstIndex ost);
-  sim::BandwidthPipe& fabric() { return *fabric_; }
-  sim::BandwidthPipe& oss_pipe(std::uint32_t oss) {
+  sim::LinkModel& oss_pipe_for_ost(OstIndex ost);
+  sim::LinkModel& fabric() { return *fabric_; }
+  sim::LinkModel& oss_pipe(std::uint32_t oss) {
     PFSC_REQUIRE(oss < oss_pipes_.size(), "oss_pipe: bad index");
     return *oss_pipes_[oss];
   }
@@ -138,8 +142,8 @@ class FileSystem {
   AllocPolicy policy_;
   Rng rng_;
 
-  std::unique_ptr<sim::BandwidthPipe> fabric_;
-  std::vector<std::unique_ptr<sim::BandwidthPipe>> oss_pipes_;
+  std::unique_ptr<sim::LinkModel> fabric_;
+  std::vector<std::unique_ptr<sim::LinkModel>> oss_pipes_;
   std::vector<std::unique_ptr<hw::DiskModel>> ost_disks_;
   std::vector<bool> ost_failed_;
   std::vector<std::uint64_t> objects_per_ost_;

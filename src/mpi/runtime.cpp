@@ -14,8 +14,8 @@ Runtime::Runtime(lustre::FileSystem& fs, int nprocs, int procs_per_node,
                "Runtime: job larger than the platform");
   node_nics_.reserve(static_cast<std::size_t>(nodes));
   for (int n = 0; n < nodes; ++n) {
-    node_nics_.push_back(std::make_unique<sim::BandwidthPipe>(
-        fs.engine(), fs.params().node_nic_bw));
+    node_nics_.push_back(sim::make_link(fs.engine(), fs.params().link_policy,
+                                        fs.params().node_nic_bw));
   }
   clients_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {

@@ -42,7 +42,7 @@ class Runtime {
   lustre::FileSystem* fs_;
   int nprocs_;
   int procs_per_node_;
-  std::vector<std::unique_ptr<sim::BandwidthPipe>> node_nics_;
+  std::vector<std::unique_ptr<sim::LinkModel>> node_nics_;
   std::vector<std::unique_ptr<lustre::Client>> clients_;
   std::unique_ptr<Communicator> world_;
 };

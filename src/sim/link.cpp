@@ -1,0 +1,144 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+namespace pfsc::sim {
+
+namespace {
+
+/// A nanosecond of simulated slack: a flow whose remaining service time
+/// falls below this completes in the current batch. Far below the
+/// microsecond-scale latencies being modelled, but comfortably above the
+/// floating-point error the virtual clock can accumulate — without it a
+/// wake-up could land an ulp early and re-arm a zero-length timer forever.
+constexpr Seconds kSlackEps = 1e-9;
+
+}  // namespace
+
+const char* link_policy_name(LinkPolicy policy) {
+  switch (policy) {
+    case LinkPolicy::fifo: return "fifo";
+    case LinkPolicy::fair_share: return "fair_share";
+  }
+  return "?";
+}
+
+Co<void> FifoPipe::transfer(Bytes bytes) {
+  co_await slots_.acquire();
+  const Seconds service = latency_ + static_cast<double>(bytes) / rate_;
+  busy_time_ += service;
+  bytes_moved_ += bytes;
+  ++transfers_;
+  co_await eng_->delay(service);
+  slots_.release();
+}
+
+// ---------------------------------------------------------------------------
+// FairSharePipe
+// ---------------------------------------------------------------------------
+
+/// Suspends the transferring coroutine and registers it as an in-flight
+/// flow; FairSharePipe::complete_due resumes it at the flow's finish time.
+struct FairShareAwaiter {
+  FairSharePipe& pipe;
+  Bytes bytes;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    pipe.advance_clock();
+    FairSharePipe::Flow flow;
+    flow.finish_v = pipe.vtime_ + static_cast<double>(bytes) / pipe.rate_;
+    flow.id = pipe.next_flow_id_++;
+    flow.waiter = h;
+    pipe.join(std::move(flow));
+  }
+  void await_resume() const noexcept {}
+};
+
+Co<void> FairSharePipe::transfer(Bytes bytes) {
+  if (latency_ > 0.0) co_await eng_->delay(latency_);
+  co_await FairShareAwaiter{*this, bytes};
+  bytes_moved_ += bytes;
+  ++transfers_;
+}
+
+/// Integrate the virtual clock (and the utilisation integral) up to now.
+/// Must run before any change to the flow set.
+void FairSharePipe::advance_clock() {
+  const Seconds now = eng_->now();
+  const std::size_t n = flows_.size();
+  if (n > 0) {
+    const Seconds dt = now - last_update_;
+    vtime_ += dt * speed(n);
+    const double c = static_cast<double>(channels_);
+    busy_time_ += dt * std::min(static_cast<double>(n), c) / c;
+  }
+  last_update_ = now;
+}
+
+double FairSharePipe::utilisation() const {
+  const Seconds t = eng_->now();
+  if (t <= 0.0) return 0.0;
+  Seconds busy = busy_time_;
+  if (!flows_.empty()) {
+    const double c = static_cast<double>(channels_);
+    busy += (t - last_update_) *
+            std::min(static_cast<double>(flows_.size()), c) / c;
+  }
+  return busy / t;
+}
+
+void FairSharePipe::join(Flow flow) {
+  flows_.push(std::move(flow));
+  arm();
+}
+
+/// Pop and resume every flow whose remaining service has vanished. Each
+/// departure speeds up the survivors, so the per-iteration conversion from
+/// virtual slack to real time uses the shrinking flow count.
+void FairSharePipe::complete_due() {
+  const Seconds now = eng_->now();
+  while (!flows_.empty()) {
+    const double remaining_v = flows_.top().finish_v - vtime_;
+    const Seconds remaining_t = remaining_v / speed(flows_.size());
+    if (remaining_t > kSlackEps) break;
+    const Flow flow = flows_.top();
+    flows_.pop();
+    eng_->schedule(flow.waiter, now);
+  }
+}
+
+/// (Re-)schedule the wake-up for the earliest completion. Timers cannot be
+/// cancelled, so each re-arm bumps the generation and a superseded timer
+/// no-ops when it fires.
+void FairSharePipe::arm() {
+  ++timer_generation_;
+  if (flows_.empty()) return;
+  const double remaining_v = flows_.top().finish_v - vtime_;
+  const Seconds dt = std::max(0.0, remaining_v / speed(flows_.size()));
+  eng_->spawn(wakeup(timer_generation_, dt));
+}
+
+Task FairSharePipe::wakeup(std::uint64_t generation, Seconds dt) {
+  co_await eng_->delay(dt);
+  if (generation != timer_generation_) co_return;  // superseded
+  advance_clock();
+  complete_due();
+  arm();
+}
+
+std::unique_ptr<LinkModel> make_link(Engine& eng, LinkPolicy policy,
+                                     BytesPerSecond rate,
+                                     Seconds per_message_latency,
+                                     std::size_t channels) {
+  switch (policy) {
+    case LinkPolicy::fifo:
+      return std::make_unique<FifoPipe>(eng, rate, per_message_latency, channels);
+    case LinkPolicy::fair_share:
+      return std::make_unique<FairSharePipe>(eng, rate, per_message_latency,
+                                             channels);
+  }
+  PFSC_REQUIRE(false, "make_link: unknown LinkPolicy");
+  return nullptr;
+}
+
+}  // namespace pfsc::sim

@@ -1,0 +1,191 @@
+// Pluggable link-sharing models: how concurrent transfers share a
+// bandwidth-limited link (fabric, OSS front end, node NIC, per-process
+// pipe).
+//
+//  * LinkModel      — the interface every layer transfers through. A link
+//                     has a nominal per-channel `rate`, an optional
+//                     per-message latency, and `channels` parallel lanes;
+//                     implementations decide how simultaneous flows share
+//                     that capacity.
+//  * FifoPipe       — store-and-forward FIFO server: a transfer holds a
+//                     whole channel for bytes/rate seconds, so concurrent
+//                     flows share capacity in arrival order. This is the
+//                     historical `sim::BandwidthPipe` behaviour, preserved
+//                     bit-for-bit (the golden-number regression tests pin
+//                     it), and the default policy everywhere.
+//  * FairSharePipe  — progress-based processor-sharing server: all
+//                     in-flight flows advance simultaneously, each at
+//                     min(rate, channels*rate/n). Implemented with a
+//                     virtual-time clock and an earliest-completion heap,
+//                     so a flow arrival or departure costs O(log n) — no
+//                     rescan of the other in-flight flows. This models the
+//                     paper's central picture of contention (n concurrent
+//                     writers each seeing rate/n at the same instant)
+//                     directly instead of emergently.
+//
+// `LinkPolicy` selects the implementation; `make_link` is the factory the
+// owning layers (lustre::FileSystem, mpi::Runtime, lustre::Client) build
+// their links through, driven by hw::PlatformParams::link_policy.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+#include "sim/task.hpp"
+#include "support/units.hpp"
+
+namespace pfsc::sim {
+
+enum class LinkPolicy {
+  fifo,        // store-and-forward, arrival order (historical default)
+  fair_share,  // processor sharing: n flows each progress at rate/n
+};
+
+const char* link_policy_name(LinkPolicy policy);
+
+/// Interface for one bandwidth-limited link. Implementations own all the
+/// queueing/sharing semantics; the common statistics and the probe surface
+/// (flow count, per-flow rate, utilisation) work for every model.
+class LinkModel {
+ public:
+  LinkModel(Engine& eng, BytesPerSecond rate, Seconds per_message_latency,
+            std::size_t channels)
+      : eng_(&eng), rate_(rate), latency_(per_message_latency), channels_(channels) {
+    PFSC_REQUIRE(rate > 0.0, "LinkModel: rate must be positive");
+    PFSC_REQUIRE(channels >= 1, "LinkModel: need at least one channel");
+  }
+
+  LinkModel(const LinkModel&) = delete;
+  LinkModel& operator=(const LinkModel&) = delete;
+  virtual ~LinkModel() = default;
+
+  /// Move `bytes` through the link; completes after queueing + service.
+  virtual Co<void> transfer(Bytes bytes) = 0;
+
+  virtual LinkPolicy policy() const = 0;
+
+  // -- probe surface (instantaneous; cheap, side-effect free) -----------
+  /// Flows currently inside transfer(): queued + in service.
+  virtual std::size_t active_flows() const = 0;
+  /// Instantaneous service rate an in-service flow sees (0 when idle).
+  virtual BytesPerSecond flow_rate() const = 0;
+  /// Fraction of [0, now] this link spent serving (per channel).
+  virtual double utilisation() const = 0;
+
+  // -- common statistics -------------------------------------------------
+  BytesPerSecond rate() const { return rate_; }
+  std::size_t channels() const { return channels_; }
+  Bytes bytes_moved() const { return bytes_moved_; }
+  std::uint64_t transfers() const { return transfers_; }
+
+ protected:
+  Engine* eng_;
+  BytesPerSecond rate_;
+  Seconds latency_;
+  std::size_t channels_;
+  Bytes bytes_moved_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+/// FIFO store-and-forward server; see file header. `channels` > 1 models a
+/// link that can serve that many transfers at full rate each (used
+/// sparingly).
+class FifoPipe final : public LinkModel {
+ public:
+  FifoPipe(Engine& eng, BytesPerSecond rate, Seconds per_message_latency = 0.0,
+           std::size_t channels = 1)
+      : LinkModel(eng, rate, per_message_latency, channels),
+        slots_(eng, channels) {}
+
+  Co<void> transfer(Bytes bytes) override;
+
+  LinkPolicy policy() const override { return LinkPolicy::fifo; }
+  std::size_t active_flows() const override {
+    return (slots_.capacity() - slots_.available()) + slots_.queue_length();
+  }
+  BytesPerSecond flow_rate() const override {
+    return slots_.available() < slots_.capacity() ? rate_ : 0.0;
+  }
+  double utilisation() const override {
+    const Seconds t = eng_->now();
+    if (t <= 0.0) return 0.0;
+    return busy_time_ / (t * static_cast<double>(slots_.capacity()));
+  }
+
+ private:
+  Resource slots_;
+  Seconds busy_time_ = 0.0;
+};
+
+/// Progress-based processor-sharing server; see file header.
+///
+/// All in-flight flows progress at the same normalised speed
+/// g(n) = min(1, channels/n), so one scalar virtual clock V with
+/// dV/dt = g(n) orders every completion: a flow of `bytes` arriving at
+/// virtual time V_a finishes when V reaches V_a + bytes/rate. Arrivals and
+/// departures each cost one heap operation plus an O(1) clock advance; the
+/// wake-up timer is re-armed (generation-counted, stale timers no-op)
+/// whenever the earliest completion changes.
+class FairSharePipe final : public LinkModel {
+ public:
+  FairSharePipe(Engine& eng, BytesPerSecond rate,
+                Seconds per_message_latency = 0.0, std::size_t channels = 1)
+      : LinkModel(eng, rate, per_message_latency, channels) {}
+
+  Co<void> transfer(Bytes bytes) override;
+
+  LinkPolicy policy() const override { return LinkPolicy::fair_share; }
+  std::size_t active_flows() const override { return flows_.size(); }
+  BytesPerSecond flow_rate() const override {
+    return flows_.empty() ? 0.0 : rate_ * speed(flows_.size());
+  }
+  double utilisation() const override;
+
+ private:
+  struct Flow {
+    double finish_v = 0.0;   // virtual time at which the flow completes
+    std::uint64_t id = 0;    // arrival order; deterministic tie-break
+    std::coroutine_handle<> waiter;
+  };
+  struct LaterFinish {
+    bool operator()(const Flow& a, const Flow& b) const {
+      if (a.finish_v != b.finish_v) return a.finish_v > b.finish_v;
+      return a.id > b.id;
+    }
+  };
+
+  /// Normalised per-flow progress rate with n flows in flight.
+  double speed(std::size_t n) const {
+    const double c = static_cast<double>(channels_);
+    const double nn = static_cast<double>(n);
+    return nn <= c ? 1.0 : c / nn;
+  }
+
+  void advance_clock();
+  void join(Flow flow);
+  void complete_due();
+  void arm();
+  Task wakeup(std::uint64_t generation, Seconds dt);
+
+  friend struct FairShareAwaiter;
+
+  std::priority_queue<Flow, std::vector<Flow>, LaterFinish> flows_;
+  double vtime_ = 0.0;
+  Seconds last_update_ = 0.0;
+  Seconds busy_time_ = 0.0;  // integral of min(n, channels)/channels dt
+  std::uint64_t next_flow_id_ = 0;
+  std::uint64_t timer_generation_ = 0;
+};
+
+/// Construct the link implementation selected by `policy`.
+std::unique_ptr<LinkModel> make_link(Engine& eng, LinkPolicy policy,
+                                     BytesPerSecond rate,
+                                     Seconds per_message_latency = 0.0,
+                                     std::size_t channels = 1);
+
+}  // namespace pfsc::sim

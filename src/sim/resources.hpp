@@ -1,14 +1,13 @@
 // Synchronisation primitives for simulation processes.
 //
 //  * Event          — one-shot (resettable) broadcast signal.
+//  * Condition      — condition-variable-like signal (no latched state).
 //  * Resource       — counting semaphore with FIFO hand-off.
 //  * Barrier        — reusable N-party barrier (generation-counted).
-//  * BandwidthPipe  — FIFO store-and-forward bandwidth server; the basic
-//                     building block of the network model. A transfer holds
-//                     the pipe for bytes/rate seconds, so concurrent flows
-//                     share capacity in arrival order, which at the
-//                     throughput timescales of these experiments behaves
-//                     like fair sharing while costing O(log n) per event.
+//
+// The bandwidth servers built on these primitives (the basic building
+// blocks of the network model) live in sim/link.hpp as implementations of
+// the pluggable LinkModel interface.
 #pragma once
 
 #include <coroutine>
@@ -17,7 +16,6 @@
 #include <vector>
 
 #include "sim/engine.hpp"
-#include "sim/task.hpp"
 #include "support/units.hpp"
 
 namespace pfsc::sim {
@@ -172,50 +170,6 @@ class Barrier {
   std::size_t arrived_ = 0;
   std::uint64_t generation_ = 0;
   std::vector<std::coroutine_handle<>> waiters_;
-};
-
-/// FIFO bandwidth server; see file header. `channels` > 1 models a link
-/// that can serve that many transfers at full rate each (used sparingly).
-class BandwidthPipe {
- public:
-  BandwidthPipe(Engine& eng, BytesPerSecond rate, Seconds per_message_latency = 0.0,
-                std::size_t channels = 1)
-      : eng_(&eng),
-        slots_(eng, channels),
-        rate_(rate),
-        latency_(per_message_latency) {
-    PFSC_REQUIRE(rate > 0.0, "BandwidthPipe: rate must be positive");
-  }
-
-  /// Move `bytes` through the pipe; completes after queueing + service.
-  Co<void> transfer(Bytes bytes) {
-    co_await slots_.acquire();
-    const Seconds service = latency_ + static_cast<double>(bytes) / rate_;
-    busy_time_ += service;
-    bytes_moved_ += bytes;
-    ++transfers_;
-    co_await eng_->delay(service);
-    slots_.release();
-  }
-
-  BytesPerSecond rate() const { return rate_; }
-  Bytes bytes_moved() const { return bytes_moved_; }
-  std::uint64_t transfers() const { return transfers_; }
-  /// Fraction of [0, now] this pipe spent serving (per channel).
-  double utilisation() const {
-    const Seconds t = eng_->now();
-    if (t <= 0.0) return 0.0;
-    return busy_time_ / (t * static_cast<double>(slots_.capacity()));
-  }
-
- private:
-  Engine* eng_;
-  Resource slots_;
-  BytesPerSecond rate_;
-  Seconds latency_;
-  Seconds busy_time_ = 0.0;
-  Bytes bytes_moved_ = 0;
-  std::uint64_t transfers_ = 0;
 };
 
 }  // namespace pfsc::sim

@@ -39,6 +39,29 @@ std::size_t Sampler::add_ost_queue_probe(lustre::FileSystem& fs,
   });
 }
 
+namespace {
+
+std::size_t add_link_probes(Sampler& sampler, const std::string& prefix,
+                            sim::LinkModel& link) {
+  const std::size_t first = sampler.add_probe(prefix + "_flows", [&link] {
+    return static_cast<double>(link.active_flows());
+  });
+  sampler.add_probe(prefix + "_flow_mbps",
+                    [&link] { return to_mbps(link.flow_rate()); });
+  sampler.add_probe(prefix + "_util", [&link] { return link.utilisation(); });
+  return first;
+}
+
+}  // namespace
+
+std::size_t Sampler::add_fabric_probe(lustre::FileSystem& fs) {
+  return add_link_probes(*this, "fabric", fs.fabric());
+}
+
+std::size_t Sampler::add_oss_probe(lustre::FileSystem& fs, std::uint32_t oss) {
+  return add_link_probes(*this, "oss" + std::to_string(oss), fs.oss_pipe(oss));
+}
+
 void Sampler::start() {
   PFSC_REQUIRE(!started_, "Sampler: already started");
   started_ = true;

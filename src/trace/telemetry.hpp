@@ -56,6 +56,13 @@ class Sampler {
   std::size_t add_ost_busy_probe(lustre::FileSystem& fs, lustre::OstIndex ost);
   /// Instantaneous queue depth of one OST.
   std::size_t add_ost_queue_probe(lustre::FileSystem& fs, lustre::OstIndex ost);
+  /// Link-level view of the shared fabric: registers three series
+  /// (`fabric_flows`, `fabric_flow_mbps`, `fabric_util`) for the
+  /// instantaneous flow count, per-flow rate, and cumulative utilisation.
+  /// Works for both link policies; returns the index of the first series.
+  std::size_t add_fabric_probe(lustre::FileSystem& fs);
+  /// Same three series for one OSS front-end link (`ossN_flows`, ...).
+  std::size_t add_oss_probe(lustre::FileSystem& fs, std::uint32_t oss);
 
   /// Start sampling (spawns the sampler process). Sampling ends when the
   /// engine drains or `stop()` is called.

@@ -103,7 +103,7 @@ TEST_F(ClientFixture, LargeWriteSplitsIntoRpcs) {
 }
 
 TEST_F(ClientFixture, TwoClientsShareNodeNic) {
-  sim::BandwidthPipe nic(eng, params.node_nic_bw);
+  sim::FifoPipe nic(eng, params.node_nic_bw);
   Client a(fs, "a", &nic);
   Client b(fs, "b", &nic);
   EXPECT_EQ(a.node_key(), b.node_key());

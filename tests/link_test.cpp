@@ -1,0 +1,156 @@
+// FairSharePipe semantics: processor sharing with a virtual-time clock.
+// Every expected instant below is derived by hand from the PS invariant
+// (n in-flight flows each progress at rate * min(1, channels/n)).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/link.hpp"
+#include "sim/task.hpp"
+
+namespace pfsc::sim {
+namespace {
+
+Task flow_at(Engine& eng, LinkModel& link, Seconds start, Bytes bytes,
+             std::vector<Seconds>& done) {
+  if (start > 0.0) co_await eng.delay(start);
+  co_await link.transfer(bytes);
+  done.push_back(eng.now());
+}
+
+TEST(FairSharePipe, SingleFlowTakesBytesOverRate) {
+  Engine eng;
+  FairSharePipe pipe(eng, 100.0);  // 100 B/s
+  std::vector<Seconds> done;
+  eng.spawn(flow_at(eng, pipe, 0.0, 250, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0], 2.5, 1e-9);
+  EXPECT_EQ(pipe.bytes_moved(), 250u);
+  EXPECT_EQ(pipe.transfers(), 1u);
+}
+
+TEST(FairSharePipe, ConcurrentFlowsShareSimultaneously) {
+  Engine eng;
+  FairSharePipe pipe(eng, 100.0);
+  std::vector<Seconds> done;
+  // Two 100 B flows from t=0: each sees 50 B/s, both finish at 2.0 —
+  // unlike FIFO, which would finish them at 1.0 and 2.0.
+  eng.spawn(flow_at(eng, pipe, 0.0, 100, done));
+  eng.spawn(flow_at(eng, pipe, 0.0, 100, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(FairSharePipe, StaggeredArrivalRecostsInFlightFlow) {
+  Engine eng;
+  FairSharePipe pipe(eng, 100.0);
+  std::vector<Seconds> done;
+  // A: 200 B at t=0. Alone until t=0.5 (50 B moved). B: 100 B at t=0.5;
+  // both then run at 50 B/s, so B finishes at 0.5 + 2.0 = 2.5. A has 50 B
+  // left and the link to itself: done at 3.0.
+  eng.spawn(flow_at(eng, pipe, 0.0, 200, done));
+  eng.spawn(flow_at(eng, pipe, 0.5, 100, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.5, 1e-9);
+  EXPECT_NEAR(done[1], 3.0, 1e-9);
+}
+
+TEST(FairSharePipe, ChannelsRaiseTheSharingThreshold) {
+  Engine eng;
+  FairSharePipe pipe(eng, 100.0, 0.0, 2);
+  std::vector<Seconds> done;
+  // Two flows fit the two channels: both at full rate, done at 1.0. Four
+  // flows: each at 100 * 2/4 = 50 B/s, done at 2.0.
+  eng.spawn(flow_at(eng, pipe, 0.0, 100, done));
+  eng.spawn(flow_at(eng, pipe, 0.0, 100, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 1.0, 1e-9);
+
+  done.clear();
+  for (int i = 0; i < 4; ++i) eng.spawn(flow_at(eng, pipe, 0.0, 100, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 4u);
+  for (const Seconds t : done) EXPECT_NEAR(t - 1.0, 2.0, 1e-9);
+}
+
+TEST(FairSharePipe, PerMessageLatencyAddsBeforeService) {
+  Engine eng;
+  FairSharePipe pipe(eng, 100.0, /*per_message_latency=*/0.5);
+  std::vector<Seconds> done;
+  eng.spawn(flow_at(eng, pipe, 0.0, 100, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0], 1.5, 1e-9);
+}
+
+TEST(FairSharePipe, ProbesReportInstantaneousSharing) {
+  Engine eng;
+  FairSharePipe pipe(eng, 120.0);
+  std::vector<Seconds> done;
+  for (int i = 0; i < 3; ++i) eng.spawn(flow_at(eng, pipe, 0.0, 120, done));
+  EXPECT_EQ(pipe.active_flows(), 0u);
+  EXPECT_DOUBLE_EQ(pipe.flow_rate(), 0.0);
+  // Each flow sees 40 B/s; all complete at t=3. Park the clock mid-flight.
+  EXPECT_FALSE(eng.run_until(1.5));
+  EXPECT_EQ(pipe.active_flows(), 3u);
+  EXPECT_DOUBLE_EQ(pipe.flow_rate(), 40.0);
+  EXPECT_NEAR(pipe.utilisation(), 1.0, 1e-9);  // saturated so far
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(pipe.active_flows(), 0u);
+  // Busy 3 s of 3 s total.
+  EXPECT_NEAR(pipe.utilisation(), 1.0, 1e-9);
+}
+
+TEST(FairSharePipe, UtilisationCountsIdleTime) {
+  Engine eng;
+  FairSharePipe pipe(eng, 100.0);
+  std::vector<Seconds> done;
+  eng.spawn(flow_at(eng, pipe, 0.0, 100, done));
+  eng.spawn([](Engine& e) -> Task { co_await e.delay(4.0); }(eng));
+  eng.run();
+  EXPECT_NEAR(pipe.utilisation(), 0.25, 1e-9);  // busy 1 s of 4 s
+}
+
+TEST(MakeLink, FactorySelectsPolicy) {
+  Engine eng;
+  auto fifo = make_link(eng, LinkPolicy::fifo, 100.0);
+  auto fair = make_link(eng, LinkPolicy::fair_share, 100.0);
+  EXPECT_EQ(fifo->policy(), LinkPolicy::fifo);
+  EXPECT_EQ(fair->policy(), LinkPolicy::fair_share);
+  EXPECT_STREQ(link_policy_name(fifo->policy()), "fifo");
+  EXPECT_STREQ(link_policy_name(fair->policy()), "fair_share");
+}
+
+TEST(FairSharePipe, ManyFlowsConserveWork) {
+  // 10,000 staggered flows through one saturated link: processor sharing
+  // is work-conserving, so the last completion lands exactly at
+  // total_bytes / rate (all arrivals are inside the busy period).
+  Engine eng;
+  FairSharePipe pipe(eng, 1.0e6);
+  std::vector<Seconds> done;
+  constexpr int kFlows = 10000;
+  Bytes total = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    const Bytes bytes = 1000 + static_cast<Bytes>(i % 7) * 100;
+    total += bytes;
+    // Arrivals spread over the first second; the full drain takes >10 s.
+    eng.spawn(flow_at(eng, pipe, 1e-4 * static_cast<double>(i), bytes, done));
+  }
+  eng.run();
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(kFlows));
+  EXPECT_EQ(pipe.bytes_moved(), total);
+  EXPECT_EQ(pipe.transfers(), static_cast<std::uint64_t>(kFlows));
+  const Seconds expect_end = static_cast<double>(total) / 1.0e6;
+  EXPECT_NEAR(done.back(), expect_end, 1e-6);
+}
+
+}  // namespace
+}  // namespace pfsc::sim

@@ -59,7 +59,8 @@ TEST(Misuse, ResourceAndPipeGuards) {
   sim::Engine eng;
   EXPECT_THROW(sim::Resource(eng, 0), UsageError);
   EXPECT_THROW(sim::Barrier(eng, 0), UsageError);
-  EXPECT_THROW(sim::BandwidthPipe(eng, 0.0), UsageError);
+  EXPECT_THROW(sim::FifoPipe(eng, 0.0), UsageError);
+  EXPECT_THROW(sim::FairSharePipe(eng, 0.0), UsageError);
 }
 
 TEST(Misuse, FileSystemGuards) {

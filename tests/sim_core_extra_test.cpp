@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/link.hpp"
 #include "sim/resources.hpp"
 #include "sim/task.hpp"
 
@@ -145,9 +146,9 @@ TEST(EngineStats, RunUntilThenRunContinues) {
 
 TEST(PipeLatency, PerMessageLatencyAdds) {
   Engine eng;
-  BandwidthPipe pipe(eng, 100.0, /*per_message_latency=*/0.5);
+  FifoPipe pipe(eng, 100.0, /*per_message_latency=*/0.5);
   Seconds done_at = 0.0;
-  eng.spawn([](BandwidthPipe& p, Engine& e, Seconds& out) -> Task {
+  eng.spawn([](FifoPipe& p, Engine& e, Seconds& out) -> Task {
     co_await p.transfer(100);
     out = e.now();
   }(pipe, eng, done_at));

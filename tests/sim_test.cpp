@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/link.hpp"
 #include "sim/resources.hpp"
 #include "sim/task.hpp"
 
@@ -307,16 +308,16 @@ TEST(Barrier, IsReusableAcrossGenerations) {
   EXPECT_EQ(bar.generation(), 3u);
 }
 
-Task pipe_user(Engine& eng, BandwidthPipe& pipe, Bytes bytes,
+Task pipe_user(Engine& eng, LinkModel& pipe, Bytes bytes,
                std::vector<double>& done) {
   co_await pipe.transfer(bytes);
   done.push_back(eng.now());
   (void)eng;
 }
 
-TEST(BandwidthPipe, SingleTransferTakesBytesOverRate) {
+TEST(FifoPipe, SingleTransferTakesBytesOverRate) {
   Engine eng;
-  BandwidthPipe pipe(eng, 100.0);  // 100 B/s
+  FifoPipe pipe(eng, 100.0);  // 100 B/s
   std::vector<double> done;
   eng.spawn(pipe_user(eng, pipe, 250, done));
   eng.run();
@@ -326,9 +327,9 @@ TEST(BandwidthPipe, SingleTransferTakesBytesOverRate) {
   EXPECT_EQ(pipe.transfers(), 1u);
 }
 
-TEST(BandwidthPipe, ConcurrentTransfersShareByQueueing) {
+TEST(FifoPipe, ConcurrentTransfersShareByQueueing) {
   Engine eng;
-  BandwidthPipe pipe(eng, 100.0);
+  FifoPipe pipe(eng, 100.0);
   std::vector<double> done;
   eng.spawn(pipe_user(eng, pipe, 100, done));
   eng.spawn(pipe_user(eng, pipe, 100, done));
@@ -338,9 +339,9 @@ TEST(BandwidthPipe, ConcurrentTransfersShareByQueueing) {
   EXPECT_DOUBLE_EQ(done[1], 2.0);  // serialised: total rate preserved
 }
 
-TEST(BandwidthPipe, UtilisationAccounting) {
+TEST(FifoPipe, UtilisationAccounting) {
   Engine eng;
-  BandwidthPipe pipe(eng, 100.0);
+  FifoPipe pipe(eng, 100.0);
   std::vector<double> done;
   eng.spawn(pipe_user(eng, pipe, 100, done));
   eng.spawn([](Engine& e) -> Task { co_await e.delay(4.0); }(eng));
@@ -348,9 +349,9 @@ TEST(BandwidthPipe, UtilisationAccounting) {
   EXPECT_DOUBLE_EQ(pipe.utilisation(), 0.25);  // busy 1s of 4s
 }
 
-TEST(BandwidthPipe, MultiChannelOverlaps) {
+TEST(FifoPipe, MultiChannelOverlaps) {
   Engine eng;
-  BandwidthPipe pipe(eng, 100.0, 0.0, 2);
+  FifoPipe pipe(eng, 100.0, 0.0, 2);
   std::vector<double> done;
   eng.spawn(pipe_user(eng, pipe, 100, done));
   eng.spawn(pipe_user(eng, pipe, 100, done));

@@ -118,5 +118,52 @@ TEST(Sampler, ObservesRealWorkload) {
   EXPECT_GT(peak, 0.0);
 }
 
+TEST(Sampler, LinkProbePacksCoverBothPolicies) {
+  for (const auto policy :
+       {sim::LinkPolicy::fifo, sim::LinkPolicy::fair_share}) {
+    sim::Engine eng;
+    auto params = hw::tiny_test_platform();
+    params.link_policy = policy;
+    lustre::FileSystem fs(eng, params, 3);
+    lustre::Client client(fs, "c");
+    // Each 4 MiB OSS transfer lasts ~5 ms on the tiny platform; sample
+    // well below that so ticks land inside in-flight windows.
+    Sampler sampler(eng, 0.5e-3, 5000);
+    const auto fabric_idx = sampler.add_fabric_probe(fs);
+    const auto oss_idx = sampler.add_oss_probe(fs, 0);
+    bool writing = true;
+    sampler.watch([&] { return writing; });
+    sampler.start();
+    eng.spawn([](lustre::Client& c, bool& writing) -> sim::Task {
+      auto f = co_await c.create("/f", lustre::StripeSettings{1, 1_MiB, 0});
+      PFSC_ASSERT(f.ok());
+      PFSC_ASSERT(co_await c.write(f.value, 0, 16_MiB) == lustre::Errno::ok);
+      writing = false;
+    }(client, writing));
+    eng.run();
+    // Three series each, in registration order: flows, flow_mbps, util.
+    EXPECT_EQ(sampler.series(fabric_idx).name, "fabric_flows");
+    EXPECT_EQ(sampler.series(fabric_idx + 1).name, "fabric_flow_mbps");
+    EXPECT_EQ(sampler.series(fabric_idx + 2).name, "fabric_util");
+    EXPECT_EQ(sampler.series(oss_idx).name, "oss0_flows");
+    // The workload must have been visible on every registered series: a
+    // positive flow count and flow rate at some tick, and a utilisation
+    // that ends positive and never exceeds 1.
+    const char* what = link_policy_name(policy);
+    double max_flows = 0.0;
+    double max_rate = 0.0;
+    for (std::size_t i = 0; i < sampler.series(oss_idx).size(); ++i) {
+      max_flows = std::max(max_flows, sampler.series(oss_idx).value[i]);
+      max_rate = std::max(max_rate, sampler.series(oss_idx + 1).value[i]);
+    }
+    EXPECT_GE(max_flows, 1.0) << what;
+    EXPECT_GT(max_rate, 0.0) << what;
+    const auto& util = sampler.series(oss_idx + 2).value;
+    ASSERT_FALSE(util.empty());
+    EXPECT_GT(util.back(), 0.0) << what;
+    for (double u : util) EXPECT_LE(u, 1.0 + 1e-12) << what;
+  }
+}
+
 }  // namespace
 }  // namespace pfsc::trace
