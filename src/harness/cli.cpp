@@ -29,6 +29,21 @@ T parse_number(std::string_view flag, std::string_view text, const char* what) {
 
 }  // namespace
 
+sim::LinkPolicy parse_link_policy(std::string_view flag, std::string_view text) {
+  if (text == "fifo") return sim::LinkPolicy::fifo;
+  if (text == "fair_share") return sim::LinkPolicy::fair_share;
+  bad_value(flag, text, "expected one of: fifo, fair_share");
+}
+
+lustre::sched::SchedPolicy parse_sched_policy(std::string_view flag,
+                                              std::string_view text) {
+  using lustre::sched::SchedPolicy;
+  if (text == "fifo") return SchedPolicy::fifo;
+  if (text == "job_fair") return SchedPolicy::job_fair;
+  if (text == "token_bucket") return SchedPolicy::token_bucket;
+  bad_value(flag, text, "expected one of: fifo, job_fair, token_bucket");
+}
+
 long long parse_int(std::string_view flag, std::string_view text) {
   return parse_number<long long>(flag, text, "expected an integer");
 }
@@ -197,6 +212,40 @@ FlagTable scenario_flags(Scenario& scenario, RunPlan& plan, unsigned& threads) {
   PFSC_FLAG_BYTES(table, scenario.ior, block_size, "IOR blockSize per rank");
   PFSC_FLAG_BYTES(table, scenario.ior, transfer_size, "IOR transferSize");
   PFSC_FLAG(table, scenario.ior, segment_count, "IOR segmentCount");
+
+  // Platform policy enums, parsed strictly (unknown names list the valid
+  // choices instead of silently keeping the default).
+  table.add("--link_policy", "POLICY",
+            "link-sharing model: fifo | fair_share",
+            [&scenario](std::string_view text) {
+              scenario.platform.link_policy =
+                  parse_link_policy("--link_policy", text);
+            });
+  table.alias("--link-policy");
+  table.add("--sched_policy", "POLICY",
+            "OSS request scheduler: fifo | job_fair | token_bucket",
+            [&scenario](std::string_view text) {
+              scenario.platform.oss_sched_policy =
+                  parse_sched_policy("--sched_policy", text);
+            });
+  table.alias("--sched-policy").alias("--oss_sched_policy");
+  table.bind_bytes("--sched_quantum", scenario.platform.oss_sched.quantum,
+                   "job_fair deficit quantum per round-robin visit");
+  table.add("--sched_slots", "N",
+            "job_fair cap on in-service requests per OSS",
+            [&scenario](std::string_view text) {
+              scenario.platform.oss_sched.service_slots =
+                  static_cast<std::size_t>(parse_uint("--sched_slots", text));
+            });
+  table.add("--sched_job_rate_mbps", "X",
+            "token_bucket sustained per-job rate (MB/s)",
+            [&scenario](std::string_view text) {
+              scenario.platform.oss_sched.job_rate =
+                  mb_per_sec(parse_double("--sched_job_rate_mbps", text));
+            });
+  table.bind_bytes("--sched_bucket_depth",
+                   scenario.platform.oss_sched.bucket_depth,
+                   "token_bucket burst allowance");
 
   // Full textual hints override individual hint flags (MPI_Info form).
   table.add("--hints", "\"k=v;k=v\"", "MPI-IO hints, textual MPI_Info form",

@@ -27,6 +27,12 @@ double parse_double(std::string_view flag, std::string_view text);
 /// Bytes with an optional K/M/G/T suffix (binary units): "64M" == 64 MiB.
 Bytes parse_bytes(std::string_view flag, std::string_view text);
 
+// Enum values parse strictly too: an unknown name is a UsageError whose
+// message lists the valid choices (never a silent default).
+sim::LinkPolicy parse_link_policy(std::string_view flag, std::string_view text);
+lustre::sched::SchedPolicy parse_sched_policy(std::string_view flag,
+                                              std::string_view text);
+
 // -- flag table -------------------------------------------------------------
 
 struct Flag {

@@ -139,6 +139,7 @@ sim::Task multi_rank_main(mpi::Runtime& rt, lustre::FileSystem& fs,
   if (sr.rank == 0) {
     ior::Config cfg = s.ior;
     cfg.test_file += "." + std::to_string(color);
+    cfg.job_id = static_cast<lustre::sched::JobId>(color);
     slot.job = std::make_unique<ior::IorJob>(*sr.comm, fs, cfg, nullptr);
     slot.ready->trigger();
   } else if (!slot.ready->fired()) {
@@ -208,6 +209,8 @@ void spawn_noise(lustre::FileSystem& fs,
   for (unsigned w = 0; w < noise.writers; ++w) {
     clients.push_back(std::make_unique<lustre::Client>(
         fs, "noise" + std::to_string(w)));
+    // Noise writers are per-writer jobs, distinct from real jobs' ids.
+    clients.back()->set_job(lustre::sched::kNoiseJobBase + w);
     fs.engine().spawn(noise_writer(
         *clients.back(), "/noise." + std::to_string(seed % 1000) + "." + std::to_string(w),
         settings, noise.bytes_per_writer, noise.transfer_size));

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "hw/disk.hpp"
+#include "lustre/sched/policy.hpp"
 #include "sim/link.hpp"
 #include "support/units.hpp"
 
@@ -41,6 +42,18 @@ struct PlatformParams {
   /// where n concurrent flows each see rate/n simultaneously. See
   /// sim/link.hpp and DESIGN.md for when each is appropriate.
   sim::LinkPolicy link_policy = sim::LinkPolicy::fifo;
+
+  // -- OSS request scheduling ---------------------------------------------
+  /// Server-side (NRS-style) request scheduling on each OSS: how the OSS
+  /// orders competing jobs' bulk RPCs before link/disk service. `fifo` is
+  /// arrival order with no admission control (the historical behaviour,
+  /// pinned bit-for-bit by the golden regression tests); `job_fair` runs
+  /// deficit round robin across JobIds; `token_bucket` caps each job's
+  /// service rate. See lustre/sched/scheduler.hpp and DESIGN.md §6.
+  lustre::sched::SchedPolicy oss_sched_policy = lustre::sched::SchedPolicy::fifo;
+  /// Constants for the non-fifo scheduling policies (quantum, service
+  /// slots, per-job rate, bucket depth).
+  lustre::sched::SchedTuning oss_sched{};
 
   // -- servers -----------------------------------------------------------
   std::uint32_t oss_count = 32;

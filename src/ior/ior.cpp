@@ -118,6 +118,7 @@ sim::Task IorJob::rank_main(int rank, lustre::Client& client) {
 }
 
 sim::Co<void> IorJob::run_rank(int rank, lustre::Client& client) {
+  client.set_job(config_.job_id);
   Result local;
   if (config_.write_file) co_await write_phase(rank, client, local);
   if (config_.read_file) co_await read_phase(rank, client, local);

@@ -32,6 +32,9 @@ struct Config {
   /// systems; here it exercises cross-rank read resolution).
   int reorder_tasks = 0;
   std::string test_file = "/ior.dat";
+  /// Job every rank's RPCs are tagged with (OSS schedulers arbitrate per
+  /// JobId); multi-job scenarios give each contending job its own id.
+  lustre::sched::JobId job_id = lustre::sched::kDefaultJob;
   mpiio::Hints hints;
   /// After the write phase, assert that the file covers the full extent
   /// (costless introspection; catches middleware bugs in every run).

@@ -11,6 +11,9 @@ sim::Task probe_rank(mpi::Runtime& runtime, const ProbeConfig& config, int rank,
   lustre::Client& client = runtime.client(rank);
   mpi::Communicator& comm = runtime.world();
   sim::Engine& eng = runtime.engine();
+  // Each probe writer is its own "job": the Fig. 2 contention probe is
+  // exactly n independent streams, which is what per-job policies split.
+  client.set_job(static_cast<lustre::sched::JobId>(rank));
 
   // Rank 0 makes the directory (races with nothing: rank order within the
   // same timestamp is deterministic, and EEXIST is tolerated anyway).

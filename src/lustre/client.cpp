@@ -41,8 +41,14 @@ sim::Task Client::rpc(OstIndex ost, ObjectId object, Bytes object_offset,
   if (node_nic_ != nullptr) co_await node_nic_->transfer(bytes);
   co_await fs_->fabric().transfer(bytes);
   co_await eng_->delay(latency);
+  // Arrival at the OSS: the request scheduler decides when this RPC may
+  // proceed to link + disk service (fifo grants instantly, with no
+  // engine events — the pre-scheduler data path, bit for bit).
+  sched::Scheduler& sched = fs_->sched_for_ost(ost);
+  co_await sched.admit(job_, bytes);
   co_await fs_->oss_pipe_for_ost(ost).transfer(bytes);
   co_await fs_->ost_disk(ost).submit(object, object_offset, bytes, is_write);
+  sched.complete(job_, bytes);
   co_await eng_->delay(latency);  // reply
   if (fs_->ost_failed(ost) && state->err == Errno::ok) state->err = Errno::eio;
   rpc_slots_.release();

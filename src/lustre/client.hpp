@@ -54,6 +54,11 @@ class Client {
   /// pipe but moves nothing over the I/O fabric.
   sim::Co<void> local_copy(Bytes bytes);
 
+  /// Tag this client's RPCs as belonging to `job` (OSS schedulers account
+  /// and arbitrate per JobId). Untagged clients are job 0.
+  void set_job(sched::JobId job) { job_ = job; }
+  sched::JobId job() const { return job_; }
+
   const std::string& name() const { return name_; }
   Bytes bytes_written() const { return bytes_written_; }
   Bytes bytes_read() const { return bytes_read_; }
@@ -79,6 +84,7 @@ class Client {
   std::unique_ptr<sim::LinkModel> proc_pipe_;
   sim::LinkModel* node_nic_;
   sim::Resource rpc_slots_;
+  sched::JobId job_ = sched::kDefaultJob;
   Bytes bytes_written_ = 0;
   Bytes bytes_read_ = 0;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/stats.hpp"
+
 namespace pfsc::lustre {
 
 std::vector<std::string_view> split_path(std::string_view path) {
@@ -28,8 +30,11 @@ FileSystem::FileSystem(sim::Engine& eng, hw::PlatformParams params,
                "FileSystem: need at least one OSS and OST");
   fabric_ = sim::make_link(eng, params_.link_policy, params_.fabric_bw);
   oss_pipes_.reserve(params_.oss_count);
+  oss_scheds_.reserve(params_.oss_count);
   for (std::uint32_t i = 0; i < params_.oss_count; ++i) {
     oss_pipes_.push_back(sim::make_link(eng, params_.link_policy, params_.oss_bw));
+    oss_scheds_.push_back(
+        sched::make_scheduler(eng, params_.oss_sched_policy, params_.oss_sched));
   }
   ost_disks_.reserve(params_.ost_count);
   for (std::uint32_t i = 0; i < params_.ost_count; ++i) {
@@ -351,6 +356,39 @@ sim::LinkModel& FileSystem::oss_pipe_for_ost(OstIndex ost) {
   PFSC_REQUIRE(ost < params_.ost_count, "oss_pipe_for_ost: bad OST index");
   // Consecutive OSTs are spread across servers, as in real deployments.
   return *oss_pipes_[ost % params_.oss_count];
+}
+
+sched::Scheduler& FileSystem::sched_for_ost(OstIndex ost) {
+  PFSC_REQUIRE(ost < params_.ost_count, "sched_for_ost: bad OST index");
+  return *oss_scheds_[ost % params_.oss_count];
+}
+
+std::size_t FileSystem::sched_queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& s : oss_scheds_) depth += s->queue_depth();
+  return depth;
+}
+
+std::size_t FileSystem::sched_in_service() const {
+  std::size_t n = 0;
+  for (const auto& s : oss_scheds_) n += s->in_service();
+  return n;
+}
+
+std::map<sched::JobId, Bytes> FileSystem::sched_served_by_job() const {
+  std::map<sched::JobId, Bytes> merged;
+  for (const auto& s : oss_scheds_) {
+    for (const auto& [job, bytes] : s->served_by_job()) merged[job] += bytes;
+  }
+  return merged;
+}
+
+double FileSystem::sched_jain() const {
+  std::vector<double> shares;
+  for (const auto& [job, bytes] : sched_served_by_job()) {
+    shares.push_back(static_cast<double>(bytes));
+  }
+  return jain_index(shares);
 }
 
 void FileSystem::fail_ost(OstIndex ost) {

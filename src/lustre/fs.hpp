@@ -26,6 +26,7 @@
 #include "lustre/errors.hpp"
 #include "lustre/extent_map.hpp"
 #include "lustre/layout.hpp"
+#include "lustre/sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "sim/link.hpp"
 #include "sim/resources.hpp"
@@ -100,6 +101,24 @@ class FileSystem {
   sim::Engine& engine() { return *eng_; }
   const hw::PlatformParams& params() const { return params_; }
 
+  // -- OSS request scheduling --------------------------------------------
+  // One scheduler per OSS (built by sched::make_scheduler following
+  // params().oss_sched_policy) gates every bulk RPC between its arrival
+  // at the OSS and the link/disk service underneath.
+  sched::Scheduler& oss_sched(std::uint32_t oss) {
+    PFSC_REQUIRE(oss < oss_scheds_.size(), "oss_sched: bad index");
+    return *oss_scheds_[oss];
+  }
+  sched::Scheduler& sched_for_ost(OstIndex ost);
+  /// Pending (not yet granted) requests summed over all OSS schedulers.
+  std::size_t sched_queue_depth() const;
+  /// Granted-but-uncompleted requests summed over all OSS schedulers.
+  std::size_t sched_in_service() const;
+  /// Served bytes per job, merged across all OSS schedulers.
+  std::map<sched::JobId, Bytes> sched_served_by_job() const;
+  /// Jain fairness index over the merged per-job served bytes.
+  double sched_jain() const;
+
   // -- OST pools (lfs pool_* semantics) ----------------------------------
   /// Create an empty pool; EEXIST if it already exists.
   Errno pool_new(const std::string& name);
@@ -144,6 +163,7 @@ class FileSystem {
 
   std::unique_ptr<sim::LinkModel> fabric_;
   std::vector<std::unique_ptr<sim::LinkModel>> oss_pipes_;
+  std::vector<std::unique_ptr<sched::Scheduler>> oss_scheds_;
   std::vector<std::unique_ptr<hw::DiskModel>> ost_disks_;
   std::vector<bool> ost_failed_;
   std::vector<std::uint64_t> objects_per_ost_;

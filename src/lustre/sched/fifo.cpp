@@ -1,0 +1,11 @@
+#include "lustre/sched/fifo.hpp"
+
+namespace pfsc::lustre::sched {
+
+sim::Co<void> FifoSched::admit(JobId job, Bytes bytes) {
+  note_submitted(job, bytes);
+  note_granted(bytes);
+  co_return;
+}
+
+}  // namespace pfsc::lustre::sched

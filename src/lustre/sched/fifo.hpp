@@ -1,0 +1,24 @@
+// FIFO (null) scheduler: requests proceed to the OSS link in arrival
+// order with no admission control, exactly as the data path behaved
+// before the scheduler layer existed.
+//
+// admit() never suspends: a Co<void> that co_returns immediately runs
+// synchronously via symmetric transfer and schedules ZERO engine events,
+// so the event sequence — and therefore every golden number — is
+// bit-for-bit identical to the pre-scheduler tree. The golden regression
+// tests pin this.
+#pragma once
+
+#include "lustre/sched/scheduler.hpp"
+
+namespace pfsc::lustre::sched {
+
+class FifoSched final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+
+  sim::Co<void> admit(JobId job, Bytes bytes) override;
+  SchedPolicy policy() const override { return SchedPolicy::fifo; }
+};
+
+}  // namespace pfsc::lustre::sched

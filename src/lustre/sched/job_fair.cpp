@@ -1,0 +1,96 @@
+#include "lustre/sched/job_fair.hpp"
+
+#include <algorithm>
+
+namespace pfsc::lustre::sched {
+
+JobFairSched::JobFairSched(sim::Engine& eng, SchedTuning tuning)
+    : Scheduler(eng, tuning) {
+  PFSC_REQUIRE(tuning.quantum > 0, "JobFairSched: quantum must be positive");
+  PFSC_REQUIRE(tuning.service_slots >= 1,
+               "JobFairSched: need at least one service slot");
+}
+
+struct JobFairSched::AdmitAwaiter {
+  JobFairSched* sched;
+  JobId job;
+  Bytes bytes;
+
+  bool await_ready() const {
+    // Fast path: nothing is backlogged and a slot is free — grant in
+    // arrival order without suspending (no engine events).
+    if (sched->active_.empty() &&
+        sched->in_service() < sched->tuning_.service_slots) {
+      sched->note_granted(bytes);
+      return true;
+    }
+    return false;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    auto& q = sched->queues_[job];
+    if (q.empty()) sched->active_.push_back(job);
+    q.push_back(Pending{bytes, h});
+    sched->pump();
+  }
+  void await_resume() const {}
+};
+
+sim::Co<void> JobFairSched::admit(JobId job, Bytes bytes) {
+  note_submitted(job, bytes);
+  co_await AdmitAwaiter{this, job, bytes};
+}
+
+void JobFairSched::pump() {
+  while (in_service() < tuning_.service_slots && !active_.empty()) {
+    const JobId job = active_.front();
+    auto& q = queues_[job];
+    PFSC_ASSERT(!q.empty());
+    Bytes& deficit = deficit_[job];
+    if (deficit >= q.front().bytes) {
+      // The deficit covers the head request: grant it and stay on this
+      // job (DRR serves a job while its deficit lasts).
+      const Pending head = q.front();
+      q.pop_front();
+      deficit -= head.bytes;
+      note_granted(head.bytes);
+      eng_->schedule_after(head.waiter, 0.0);
+      if (q.empty()) {
+        // Drained: leave the rotation and forfeit the residual deficit
+        // (a job must hold a backlog to bank credit).
+        active_.pop_front();
+        queues_.erase(job);
+        deficit_.erase(job);
+      }
+      continue;
+    }
+    // End of this job's turn: bank one quantum and rotate to the back.
+    deficit += tuning_.quantum;
+    active_.pop_front();
+    active_.push_back(job);
+  }
+}
+
+void JobFairSched::check_invariants() const {
+  Scheduler::check_invariants();
+  if (in_service() > tuning_.service_slots) {
+    throw SimulationError("JobFairSched: in-service count exceeds slots");
+  }
+  std::size_t pending = 0;
+  for (const auto& [job, q] : queues_) {
+    if (q.empty()) {
+      throw SimulationError("JobFairSched: empty queue left in the map");
+    }
+    if (std::count(active_.begin(), active_.end(), job) != 1) {
+      throw SimulationError("JobFairSched: backlogged job not in rotation");
+    }
+    pending += q.size();
+  }
+  if (active_.size() != queues_.size()) {
+    throw SimulationError("JobFairSched: rotation lists a job with no queue");
+  }
+  if (pending != queue_depth()) {
+    throw SimulationError("JobFairSched: queue sizes do not sum to depth");
+  }
+}
+
+}  // namespace pfsc::lustre::sched

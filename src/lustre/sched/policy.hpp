@@ -1,0 +1,62 @@
+// Scheduler policy knobs, separated from the scheduler implementations so
+// hw::PlatformParams can select a policy without depending on the
+// coroutine machinery (hw sits below lustre in the link graph; this header
+// is deliberately header-only with support-level includes).
+//
+//  * JobId       — who a request belongs to. The paper's whole-system
+//                  result (Fig. 3, Table V) is that OSTs serve competing
+//                  streams with no notion of the owning job; tagging every
+//                  RPC with a JobId is the prerequisite for any server-side
+//                  QoS. Job 0 (`kDefaultJob`) is "untagged" traffic;
+//                  harness noise writers use `kNoiseJobBase + i` so they
+//                  never collide with real jobs.
+//  * SchedPolicy — which sched::Scheduler implementation each OSS runs
+//                  (see sched/scheduler.hpp), selected fleet-wide via
+//                  hw::PlatformParams::oss_sched_policy.
+//  * SchedTuning — the per-policy constants, carried alongside the policy
+//                  in PlatformParams so experiments can sweep them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace pfsc::lustre::sched {
+
+/// Identity of the job (application run) a request belongs to.
+using JobId = std::uint32_t;
+
+/// Untagged traffic: clients that never call set_job().
+inline constexpr JobId kDefaultJob = 0;
+
+/// Harness background-noise writers are tagged kNoiseJobBase + i, keeping
+/// them distinct from real jobs (which count up from 0).
+inline constexpr JobId kNoiseJobBase = 1u << 16;
+
+enum class SchedPolicy {
+  fifo,          // arrival order, no admission control (historical default)
+  job_fair,      // deficit round robin: equal byte share per job
+  token_bucket,  // per-job rate cap (isolation, not work conservation)
+};
+
+const char* sched_policy_name(SchedPolicy policy);
+
+/// Tuning constants for the non-trivial policies. Defaults are sized for
+/// the paper's lscratchc platform (600 MB/s OSS links, 4 MiB max RPC).
+struct SchedTuning {
+  /// job_fair: deficit quantum added per round-robin visit. One max-size
+  /// RPC keeps the per-round byte-share deviation at its minimum while
+  /// still letting every visit grant at least one request.
+  Bytes quantum = 4_MiB;
+  /// job_fair: cap on requests in service (granted, not yet completed)
+  /// per OSS. High enough to keep the link + disk pipeline saturated,
+  /// low enough that the backlog waits where the policy can reorder it.
+  std::size_t service_slots = 64;
+  /// token_bucket: sustained per-job service rate on each OSS.
+  BytesPerSecond job_rate = mb_per_sec(150.0);
+  /// token_bucket: burst allowance (bucket capacity).
+  Bytes bucket_depth = 16_MiB;
+};
+
+}  // namespace pfsc::lustre::sched

@@ -1,0 +1,85 @@
+#include "lustre/sched/scheduler.hpp"
+
+#include <vector>
+
+#include "lustre/sched/fifo.hpp"
+#include "lustre/sched/job_fair.hpp"
+#include "lustre/sched/token_bucket.hpp"
+#include "support/stats.hpp"
+
+namespace pfsc::lustre::sched {
+
+const char* sched_policy_name(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::fifo: return "fifo";
+    case SchedPolicy::job_fair: return "job_fair";
+    case SchedPolicy::token_bucket: return "token_bucket";
+  }
+  return "?";
+}
+
+void Scheduler::note_submitted(JobId job, Bytes bytes) {
+  (void)job;
+  ++queued_;
+  submitted_bytes_ += bytes;
+}
+
+void Scheduler::note_granted(Bytes bytes) {
+  PFSC_ASSERT(queued_ > 0);
+  --queued_;
+  ++in_service_;
+  admitted_bytes_ += bytes;
+}
+
+void Scheduler::complete(JobId job, Bytes bytes) {
+  if (in_service_ == 0) {
+    throw SimulationError("Scheduler::complete without a matching admit");
+  }
+  --in_service_;
+  served_bytes_ += bytes;
+  served_[job] += bytes;
+  on_complete();
+}
+
+Bytes Scheduler::served_bytes(JobId job) const {
+  const auto it = served_.find(job);
+  return it == served_.end() ? 0 : it->second;
+}
+
+double Scheduler::jain() const {
+  std::vector<double> shares;
+  shares.reserve(served_.size());
+  for (const auto& [job, bytes] : served_) {
+    shares.push_back(static_cast<double>(bytes));
+  }
+  return jain_index(shares);
+}
+
+void Scheduler::check_invariants() const {
+  if (admitted_bytes_ > submitted_bytes_) {
+    throw SimulationError("Scheduler: admitted more bytes than submitted");
+  }
+  if (served_bytes_ > admitted_bytes_) {
+    throw SimulationError("Scheduler: served more bytes than admitted");
+  }
+  Bytes per_job = 0;
+  for (const auto& [job, bytes] : served_) per_job += bytes;
+  if (per_job != served_bytes_) {
+    throw SimulationError("Scheduler: per-job served bytes do not sum to total");
+  }
+}
+
+std::unique_ptr<Scheduler> make_scheduler(sim::Engine& eng, SchedPolicy policy,
+                                          SchedTuning tuning) {
+  switch (policy) {
+    case SchedPolicy::fifo:
+      return std::make_unique<FifoSched>(eng, tuning);
+    case SchedPolicy::job_fair:
+      return std::make_unique<JobFairSched>(eng, tuning);
+    case SchedPolicy::token_bucket:
+      return std::make_unique<TokenBucketSched>(eng, tuning);
+  }
+  throw UsageError("make_scheduler: unknown policy");
+}
+
+}  // namespace pfsc::lustre::sched

@@ -1,0 +1,109 @@
+// Per-OSS request scheduling (Lustre NRS shape): the pluggable policy
+// point between client RPC arrival at an OSS and the OSS link/disk
+// service underneath.
+//
+// Every bulk RPC calls `admit(job, bytes)` when it reaches its OSS and
+// `complete(job, bytes)` when the disk finishes serving it. A policy
+// decides only *when* admit resumes; the service path itself (OSS link,
+// OST disk elevator) is untouched, so policies reorder and pace the
+// backlog without changing what service costs.
+//
+//  * FifoSched        — grants instantly, in arrival order. An immediately
+//                       returning Co<void> adds zero engine events, so the
+//                       data path is bit-for-bit the pre-scheduler
+//                       behaviour (pinned by the golden regression tests).
+//  * JobFairSched     — deficit round robin across JobIds with a bounded
+//                       number of in-service requests: each round a job's
+//                       deficit grows by one quantum and it may send
+//                       requests while the deficit covers them, so
+//                       backlogged jobs get equal byte shares regardless
+//                       of how many ranks or how large the RPCs they use
+//                       (sched/job_fair.hpp).
+//  * TokenBucketSched — classic TBF per job: tokens accrue at `job_rate`
+//                       up to `bucket_depth`; a request needs a full
+//                       bucket's worth (or its own size, if smaller) to be
+//                       granted and then debits its full size, so a job's
+//                       long-run service rate is capped independent of
+//                       request size mix (sched/token_bucket.hpp).
+//
+// `make_scheduler` is the factory lustre::FileSystem builds one scheduler
+// per OSS through, driven by hw::PlatformParams::oss_sched_policy —
+// mirroring how sim::make_link selects the link-sharing model.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "lustre/sched/policy.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "support/units.hpp"
+
+namespace pfsc::lustre::sched {
+
+class Scheduler {
+ public:
+  Scheduler(sim::Engine& eng, SchedTuning tuning)
+      : eng_(&eng), tuning_(tuning) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  virtual ~Scheduler() = default;
+
+  /// Gate one request into the OSS service path; resumes when the policy
+  /// grants it. Pair every granted admit with exactly one complete().
+  virtual sim::Co<void> admit(JobId job, Bytes bytes) = 0;
+
+  /// Account a granted request leaving service (after the disk finished).
+  void complete(JobId job, Bytes bytes);
+
+  virtual SchedPolicy policy() const = 0;
+
+  // -- probe surface (instantaneous; cheap, side-effect free) -----------
+  /// Requests submitted but not yet granted.
+  std::size_t queue_depth() const { return queued_; }
+  /// Requests granted but not yet completed.
+  std::size_t in_service() const { return in_service_; }
+
+  // -- byte accounting ---------------------------------------------------
+  Bytes submitted_bytes() const { return submitted_bytes_; }
+  Bytes admitted_bytes() const { return admitted_bytes_; }
+  Bytes served_bytes() const { return served_bytes_; }
+  Bytes served_bytes(JobId job) const;
+  const std::map<JobId, Bytes>& served_by_job() const { return served_; }
+  /// Jain fairness index over per-job served bytes (1.0 when idle).
+  double jain() const;
+
+  const SchedTuning& tuning() const { return tuning_; }
+
+  /// Internal-consistency audit for the fuzz/property tests; throws
+  /// SimulationError on a broken queue or accounting invariant.
+  virtual void check_invariants() const;
+
+ protected:
+  /// Call at arrival (start of admit), before any grant decision.
+  void note_submitted(JobId job, Bytes bytes);
+  /// Call at the grant decision (before the waiter actually resumes), so
+  /// in_service() already reflects the grant when the next decision runs.
+  void note_granted(Bytes bytes);
+  /// Policy hook run after complete()'s accounting (e.g. to grant the
+  /// next queued request into the freed service slot).
+  virtual void on_complete() {}
+
+  sim::Engine* eng_;
+  SchedTuning tuning_;
+
+ private:
+  std::size_t queued_ = 0;
+  std::size_t in_service_ = 0;
+  Bytes submitted_bytes_ = 0;
+  Bytes admitted_bytes_ = 0;
+  Bytes served_bytes_ = 0;
+  std::map<JobId, Bytes> served_;
+};
+
+/// Construct the scheduler implementation selected by `policy`.
+std::unique_ptr<Scheduler> make_scheduler(sim::Engine& eng, SchedPolicy policy,
+                                          SchedTuning tuning = {});
+
+}  // namespace pfsc::lustre::sched

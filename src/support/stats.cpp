@@ -106,6 +106,18 @@ double stddev_of(std::span<const double> samples) {
   return stats.stddev();
 }
 
+double jain_index(std::span<const double> shares) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double s : shares) {
+    PFSC_REQUIRE(s >= 0.0, "jain_index: shares must be non-negative");
+    sum += s;
+    sum_sq += s * s;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
 double percentile(std::vector<double> samples, double p) {
   PFSC_REQUIRE(!samples.empty(), "percentile: empty sample set");
   PFSC_REQUIRE(p >= 0.0 && p <= 1.0, "percentile: p outside [0,1]");

@@ -53,6 +53,11 @@ ConfidenceInterval confidence_interval(const RunningStats& stats,
 double mean_of(std::span<const double> samples);
 double stddev_of(std::span<const double> samples);
 
+/// Jain fairness index (sum x)^2 / (n * sum x^2) over non-negative shares:
+/// 1.0 for perfectly equal allocations, 1/n when one share takes all.
+/// Empty or all-zero inputs count as perfectly fair (1.0).
+double jain_index(std::span<const double> shares);
+
 /// Population percentile by linear interpolation (p in [0,1]).
 double percentile(std::vector<double> samples, double p);
 

@@ -62,6 +62,26 @@ std::size_t Sampler::add_oss_probe(lustre::FileSystem& fs, std::uint32_t oss) {
   return add_link_probes(*this, "oss" + std::to_string(oss), fs.oss_pipe(oss));
 }
 
+std::size_t Sampler::add_sched_probe(lustre::FileSystem& fs,
+                                     std::vector<lustre::sched::JobId> jobs) {
+  const std::size_t first = add_probe("sched_queue", [&fs] {
+    return static_cast<double>(fs.sched_queue_depth());
+  });
+  add_probe("sched_inflight",
+            [&fs] { return static_cast<double>(fs.sched_in_service()); });
+  add_probe("sched_jain", [&fs] { return fs.sched_jain(); });
+  for (const lustre::sched::JobId job : jobs) {
+    add_probe("job" + std::to_string(job) + "_bytes", [&fs, job] {
+      double bytes = 0.0;
+      for (std::uint32_t oss = 0; oss < fs.params().oss_count; ++oss) {
+        bytes += static_cast<double>(fs.oss_sched(oss).served_bytes(job));
+      }
+      return bytes;
+    });
+  }
+  return first;
+}
+
 void Sampler::start() {
   PFSC_REQUIRE(!started_, "Sampler: already started");
   started_ = true;

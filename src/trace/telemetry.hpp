@@ -63,6 +63,13 @@ class Sampler {
   std::size_t add_fabric_probe(lustre::FileSystem& fs);
   /// Same three series for one OSS front-end link (`ossN_flows`, ...).
   std::size_t add_oss_probe(lustre::FileSystem& fs, std::uint32_t oss);
+  /// Scheduler view, aggregated over all OSS schedulers: registers
+  /// `sched_queue` (pending requests), `sched_inflight` (granted, not yet
+  /// completed), `sched_jain` (Jain fairness index over per-job served
+  /// bytes) plus one `jobJ_bytes` cumulative-served series per requested
+  /// job. Works for every policy; returns the index of the first series.
+  std::size_t add_sched_probe(lustre::FileSystem& fs,
+                              std::vector<lustre::sched::JobId> jobs = {});
 
   /// Start sampling (spawns the sampler process). Sampling ends when the
   /// engine drains or `stop()` is called.

@@ -134,6 +134,90 @@ TEST(CliScenarioFlags, HintsStringRejectsUnknownKey) {
                UsageError);
 }
 
+TEST(CliEnumFlags, LinkPolicyParsesOrListsChoices) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  std::vector<std::string> good = {"prog", "--link_policy", "fair_share"};
+  auto argv1 = argv_of(good);
+  table.parse(static_cast<int>(argv1.size()), argv1.data(), 1);
+  EXPECT_EQ(scenario.platform.link_policy, sim::LinkPolicy::fair_share);
+
+  std::vector<std::string> dashed = {"prog", "--link-policy", "fifo"};
+  auto argv2 = argv_of(dashed);
+  table.parse(static_cast<int>(argv2.size()), argv2.data(), 1);
+  EXPECT_EQ(scenario.platform.link_policy, sim::LinkPolicy::fifo);
+
+  // An unknown name is a UsageError whose message lists every valid
+  // choice — never a silently kept default.
+  std::vector<std::string> bad = {"prog", "--link_policy", "weighted"};
+  auto argv3 = argv_of(bad);
+  try {
+    table.parse(static_cast<int>(argv3.size()), argv3.data(), 1);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fifo"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fair_share"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("weighted"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(scenario.platform.link_policy, sim::LinkPolicy::fifo);
+}
+
+TEST(CliEnumFlags, SchedPolicyParsesOrListsChoices) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  using lustre::sched::SchedPolicy;
+  std::vector<std::string> good = {"prog", "--sched_policy", "job_fair"};
+  auto argv1 = argv_of(good);
+  table.parse(static_cast<int>(argv1.size()), argv1.data(), 1);
+  EXPECT_EQ(scenario.platform.oss_sched_policy, SchedPolicy::job_fair);
+
+  for (const char* alias : {"--sched-policy", "--oss_sched_policy"}) {
+    std::vector<std::string> via = {"prog", alias, "token_bucket"};
+    auto argv2 = argv_of(via);
+    table.parse(static_cast<int>(argv2.size()), argv2.data(), 1);
+    EXPECT_EQ(scenario.platform.oss_sched_policy, SchedPolicy::token_bucket)
+        << alias;
+    scenario.platform.oss_sched_policy = SchedPolicy::fifo;
+  }
+
+  std::vector<std::string> bad = {"prog", "--sched_policy", "drr"};
+  auto argv3 = argv_of(bad);
+  try {
+    table.parse(static_cast<int>(argv3.size()), argv3.data(), 1);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fifo"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("job_fair"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("token_bucket"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(scenario.platform.oss_sched_policy, SchedPolicy::fifo);
+}
+
+TEST(CliEnumFlags, SchedTuningFlagsDriveTheTuningStruct) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  std::vector<std::string> args = {
+      "prog", "--sched_quantum", "2M", "--sched_slots", "16",
+      "--sched_job_rate_mbps", "250", "--sched_bucket_depth", "32M"};
+  auto argv = argv_of(args);
+  table.parse(static_cast<int>(argv.size()), argv.data(), 1);
+  EXPECT_EQ(scenario.platform.oss_sched.quantum, 2_MiB);
+  EXPECT_EQ(scenario.platform.oss_sched.service_slots, 16u);
+  EXPECT_DOUBLE_EQ(scenario.platform.oss_sched.job_rate, mb_per_sec(250.0));
+  EXPECT_EQ(scenario.platform.oss_sched.bucket_depth, 32_MiB);
+}
+
 TEST(CliScenarioFlags, UsageListsFieldNamesAndAliases) {
   Scenario scenario;
   RunPlan plan;

@@ -129,5 +129,51 @@ TEST(GoldenFifo, Fig3PerJobBandwidth) {
   }
 }
 
+// -- OSS scheduler layer: explicit fifo is bit-for-bit the old data path ----
+// The request scheduler sits between every bulk RPC and the OSS link/disk
+// service. With oss_sched_policy=fifo (set EXPLICITLY here, independent of
+// the default) every admit grants synchronously without adding a single
+// engine event, so one representative number from each figure must
+// reproduce the pre-scheduler goldens above to the last digit.
+
+TEST(GoldenFifo, SchedFifoPreservesEveryFigure) {
+  {
+    harness::Scenario scen = fig1_base();
+    scen.platform.oss_sched_policy = lustre::sched::SchedPolicy::fifo;
+    scen.ior.hints.striping_factor = 64;
+    scen.ior.hints.striping_unit = 4_MiB;
+    const auto obs = harness::run_scenario(scen, 0xF1D0);
+    ASSERT_EQ(obs.ior.err, lustre::Errno::ok);
+    check("sched_fifo.fig1[2][0]", obs.ior.write_mbps, 7454.4042488345267);
+  }
+  {
+    harness::Scenario s;
+    s.workload = harness::Workload::probe;
+    s.platform.oss_sched_policy = lustre::sched::SchedPolicy::fifo;
+    s.writers = 8;
+    s.bytes_per_writer = 16_MiB;
+    const auto obs = harness::run_scenario(s, 0xF2D0);
+    check("sched_fifo.fig2[3]", obs.probe.mean_mbps, 21.318108696473729);
+  }
+  {
+    harness::Scenario s;
+    s.workload = harness::Workload::multi;
+    s.platform.oss_sched_policy = lustre::sched::SchedPolicy::fifo;
+    s.jobs = 2;
+    s.nprocs = 32;
+    s.procs_per_node = 16;
+    s.ior.segment_count = 10;
+    s.ior.hints.driver = mpiio::Driver::ad_lustre;
+    s.ior.hints.striping_factor = 16;
+    s.ior.hints.striping_unit = 4_MiB;
+    const auto obs = harness::run_scenario(s, 0xF3D0);
+    ASSERT_EQ(obs.per_job.size(), 2u);
+    check("sched_fifo.fig3.job0", obs.per_job[0].write_mbps,
+          834.95268617543184);
+    check("sched_fifo.fig3.job1", obs.per_job[1].write_mbps,
+          827.73487650397442);
+  }
+}
+
 }  // namespace
 }  // namespace pfsc
