@@ -22,6 +22,7 @@
 #include "harness/cli.hpp"
 #include "harness/runner.hpp"
 #include "support/table.hpp"
+#include "trace/export.hpp"
 
 using namespace pfsc;
 
@@ -33,6 +34,18 @@ int usage(const harness::cli::FlagTable& table) {
                "[options]\n%s",
                table.usage().c_str());
   return 2;
+}
+
+/// Print the first repetition's trace roll-up (and where the trace went)
+/// when the run carried a recorder (--trace summary/full).
+void print_trace(const harness::Scenario& scenario,
+                 const harness::Observation& obs) {
+  if (!obs.traced) return;
+  std::fputs(obs.trace_summary.format().c_str(), stdout);
+  if (!scenario.trace.out.empty()) {
+    std::printf("trace written to %s\n",
+                trace::resolve_trace_path(scenario.trace.out, obs.seed).c_str());
+  }
 }
 
 int run_ior_mode(const harness::Scenario& scenario, const harness::RunPlan& plan,
@@ -55,6 +68,7 @@ int run_ior_mode(const harness::Scenario& scenario, const harness::RunPlan& plan
   table.print(scenario.workload == harness::Workload::plfs ? "IOR through ad_plfs"
                                                            : "IOR");
   std::printf("mean %.0f MB/s over %u rep(s)\n", point.ci.mean, plan.reps());
+  print_trace(scenario, point.reps.front());
   return 0;
 }
 
@@ -76,6 +90,7 @@ int run_multi_mode(const harness::Scenario& scenario,
               res.total_mbps, res.contention.d_inuse,
               core::d_inuse_uniform(stripes, jobs, dtotal),
               res.contention.d_load, core::d_load(stripes, jobs, dtotal));
+  print_trace(scenario, res);
   return 0;
 }
 
@@ -93,6 +108,7 @@ int run_probe_mode(const harness::Scenario& scenario,
   table.print("Single-OST contention probe");
   std::printf("mean per-process %.1f MB/s over %u rep(s)\n", point.ci.mean,
               plan.reps());
+  print_trace(scenario, point.reps.front());
   return 0;
 }
 

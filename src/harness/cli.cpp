@@ -44,6 +44,14 @@ lustre::sched::SchedPolicy parse_sched_policy(std::string_view flag,
   bad_value(flag, text, "expected one of: fifo, job_fair, token_bucket");
 }
 
+trace::TraceMode parse_trace_mode(std::string_view flag, std::string_view text) {
+  trace::TraceMode mode = trace::TraceMode::off;
+  if (!trace::parse_trace_mode(text, mode)) {
+    bad_value(flag, text, "expected one of: off, summary, full");
+  }
+  return mode;
+}
+
 long long parse_int(std::string_view flag, std::string_view text) {
   return parse_number<long long>(flag, text, "expected an integer");
 }
@@ -199,6 +207,17 @@ FlagTable scenario_flags(Scenario& scenario, RunPlan& plan, unsigned& threads) {
                   "bytes each probe writer streams");
   PFSC_FLAG(table, scenario, telemetry_interval,
             "sampling interval in simulated seconds (0: off)");
+
+  // Event tracing (see trace/recorder.hpp).
+  table.add("--trace", "MODE", "event tracing: off | summary | full",
+            [&scenario](std::string_view text) {
+              scenario.trace.mode = parse_trace_mode("--trace", text);
+            });
+  table.bind("--trace_out", scenario.trace.out,
+             "trace output path ({seed} expands; .csv: counters CSV, "
+             "else Chrome JSON / summary table)");
+  table.bind("--trace_interval", scenario.trace.interval,
+             "trace sampler interval in simulated seconds (0: off)");
 
   PFSC_FLAG(table, scenario.ior.hints, striping_factor,
             "Lustre stripe count hint");

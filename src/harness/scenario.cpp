@@ -1,8 +1,11 @@
 #include "harness/scenario.hpp"
 
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "plfs/plfs.hpp"
+#include "trace/export.hpp"
 
 namespace pfsc::harness {
 
@@ -21,6 +24,10 @@ void Scenario::validate() const {
   PFSC_REQUIRE(procs_per_node >= 1, "Scenario: procs_per_node must be positive");
   PFSC_REQUIRE(telemetry_interval >= 0.0,
                "Scenario: telemetry_interval must be non-negative");
+  PFSC_REQUIRE(trace.interval >= 0.0,
+               "Scenario: trace.interval must be non-negative");
+  PFSC_REQUIRE(trace.out.empty() || trace.mode != trace::TraceMode::off,
+               "Scenario: trace.out requires trace.mode != off");
   switch (workload) {
     case Workload::ior:
       break;
@@ -37,6 +44,8 @@ void Scenario::validate() const {
       PFSC_REQUIRE(writers >= 1, "Scenario: probe needs at least one writer");
       PFSC_REQUIRE(telemetry_interval == 0.0,
                    "Scenario: the probe workload does not support telemetry");
+      PFSC_REQUIRE(trace.interval == 0.0,
+                   "Scenario: the probe workload does not support a trace sampler");
       break;
   }
 }
@@ -57,16 +66,23 @@ sim::Task noise_writer(lustre::Client& client, std::string path,
 }
 
 /// Shared run state every workload branch builds: fresh engine, seeded file
-/// system, runtime, optional background noise, optional telemetry sampler.
+/// system, runtime, optional background noise, optional telemetry sampler,
+/// optional event recorder (+ trace sampler mirroring into it).
 struct Rig {
   sim::Engine eng;
+  std::unique_ptr<trace::Recorder> recorder;
   lustre::FileSystem fs;
   mpi::Runtime rt;
   std::vector<std::unique_ptr<lustre::Client>> noise_clients;
   std::unique_ptr<trace::Sampler> sampler;
+  std::unique_ptr<trace::Sampler> trace_sampler;
 
   Rig(const Scenario& s, int nprocs, std::uint64_t seed)
       : fs(eng, s.platform, seed), rt(fs, nprocs, s.procs_per_node) {
+    if (s.trace.mode != trace::TraceMode::off) {
+      recorder = std::make_unique<trace::Recorder>(s.trace);
+      eng.set_recorder(recorder.get());
+    }
     if (s.noise.writers > 0) {
       spawn_noise(fs, noise_clients, s.noise, seed);
     }
@@ -74,19 +90,56 @@ struct Rig {
       sampler = std::make_unique<trace::Sampler>(eng, s.telemetry_interval);
       sampler->add_total_bytes_probe(fs);
     }
+    if (recorder && s.trace.interval > 0.0) {
+      trace_sampler = std::make_unique<trace::Sampler>(eng, s.trace.interval);
+      trace_sampler->add_instruments(trace::link_instruments("fabric", fs.fabric()),
+                                     fs.liveness());
+      trace_sampler->add_instruments(trace::sched_instruments(fs), fs.liveness());
+      trace_sampler->add_instruments(trace::total_bytes_instruments(fs),
+                                     fs.liveness());
+    }
   }
 
   /// Start sampling, stopping once `done()` first returns true (so the
-  /// periodic sampler cannot keep the drained engine alive).
+  /// periodic samplers cannot keep the drained engine alive).
   void start_sampler(std::function<bool()> done) {
-    if (!sampler) return;
-    sampler->watch([done = std::move(done)] { return !done(); });
-    sampler->start();
+    if (sampler) {
+      sampler->watch([done] { return !done(); });
+      sampler->start();
+    }
+    if (trace_sampler) {
+      trace_sampler->watch([done = std::move(done)] { return !done(); });
+      trace_sampler->start();
+    }
   }
 
   void export_bandwidth(Observation& obs) const {
     if (!sampler) return;
     obs.bandwidth = trace::Sampler::bandwidth_timeline(sampler->series(0));
+  }
+
+  /// Roll the recorder up into the observation and write --trace_out.
+  /// Called after the run drains, from every workload branch.
+  void finish_trace(Observation& obs, const Scenario& s, std::uint64_t seed) {
+    if (!recorder) return;
+    obs.traced = true;
+    obs.trace_summary = trace::collect_summary(fs, recorder.get());
+    if (s.trace.mode == trace::TraceMode::full) {
+      obs.trace_json = trace::export_chrome_trace(*recorder);
+    }
+    if (s.trace.out.empty()) return;
+    const std::string path = trace::resolve_trace_path(s.trace.out, seed);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    PFSC_REQUIRE(out.good(), "trace: cannot open --trace_out path " + path);
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+      out << trace::export_counters_csv(*recorder);
+    } else if (s.trace.mode == trace::TraceMode::full) {
+      out << obs.trace_json;
+    } else {
+      out << obs.trace_summary.format();
+    }
+    out.flush();
+    PFSC_REQUIRE(out.good(), "trace: failed writing " + path);
   }
 };
 
@@ -114,6 +167,7 @@ Observation run_ior_like(const Scenario& s, std::uint64_t seed, bool plfs_census
     obs.contention = core::observe(rig.fs.ost_occupancy(data_files));
   }
   rig.export_bandwidth(obs);
+  rig.finish_trace(obs, s, seed);
   return obs;
 }
 
@@ -179,6 +233,7 @@ Observation run_multi(const Scenario& s, std::uint64_t seed) {
   obs.metric = mean;
   obs.contention = core::observe(rig.fs.ost_occupancy(files));
   rig.export_bandwidth(obs);
+  rig.finish_trace(obs, s, seed);
   return obs;
 }
 
@@ -195,7 +250,32 @@ Observation run_probe(const Scenario& s, std::uint64_t seed) {
   Observation obs;
   obs.probe = ior::run_probe(rig.rt, cfg);
   obs.metric = obs.probe.mean_mbps;
+  rig.finish_trace(obs, s, seed);
   return obs;
+}
+
+/// PFSC_TRACE / PFSC_TRACE_OUT / PFSC_TRACE_INTERVAL environment override,
+/// consulted only when the scenario itself leaves tracing off (so a
+/// scenario that explicitly configures tracing wins over the environment,
+/// and OUT/INTERVAL alone cannot switch tracing on).
+void apply_trace_env(Scenario& s) {
+  if (s.trace.mode != trace::TraceMode::off) return;
+  const char* mode = std::getenv("PFSC_TRACE");
+  if (mode == nullptr || *mode == '\0') return;
+  PFSC_REQUIRE(trace::parse_trace_mode(mode, s.trace.mode),
+               "PFSC_TRACE: expected one of: off, summary, full");
+  if (s.trace.mode == trace::TraceMode::off) return;
+  if (const char* out = std::getenv("PFSC_TRACE_OUT");
+      out != nullptr && *out != '\0') {
+    s.trace.out = out;
+  }
+  if (const char* interval = std::getenv("PFSC_TRACE_INTERVAL");
+      interval != nullptr && *interval != '\0' && s.workload != Workload::probe) {
+    char* end = nullptr;
+    s.trace.interval = std::strtod(interval, &end);
+    PFSC_REQUIRE(end != interval && *end == '\0' && s.trace.interval >= 0.0,
+                 "PFSC_TRACE_INTERVAL: expected a non-negative number");
+  }
 }
 
 }  // namespace
@@ -218,20 +298,23 @@ void spawn_noise(lustre::FileSystem& fs,
 }
 
 Observation run_scenario(const Scenario& scenario, std::uint64_t seed) {
-  scenario.validate();
+  Scenario effective = scenario;
+  apply_trace_env(effective);
+  const Scenario& s = effective;
+  s.validate();
   Observation obs;
-  switch (scenario.workload) {
+  switch (s.workload) {
     case Workload::ior:
-      obs = run_ior_like(scenario, seed, /*plfs_census=*/false);
+      obs = run_ior_like(s, seed, /*plfs_census=*/false);
       break;
     case Workload::plfs:
-      obs = run_ior_like(scenario, seed, /*plfs_census=*/true);
+      obs = run_ior_like(s, seed, /*plfs_census=*/true);
       break;
     case Workload::multi:
-      obs = run_multi(scenario, seed);
+      obs = run_multi(s, seed);
       break;
     case Workload::probe:
-      obs = run_probe(scenario, seed);
+      obs = run_probe(s, seed);
       break;
   }
   obs.workload = scenario.workload;

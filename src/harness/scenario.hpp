@@ -82,6 +82,16 @@ struct Scenario {
   /// aggregate-bandwidth timeline in Observation::bandwidth.
   Seconds telemetry_interval = 0.0;
 
+  /// Event tracing (trace::Recorder attached to the run's engine).
+  /// mode off (the default) is bit-for-bit invisible: no recorder exists
+  /// and every instrumentation hook is a single null-pointer test.
+  /// `trace.interval` > 0 additionally attaches a periodic sampler
+  /// mirroring the standard fabric/scheduler/total-bytes instrument packs
+  /// into the trace. Overridable per run through the PFSC_TRACE,
+  /// PFSC_TRACE_OUT and PFSC_TRACE_INTERVAL environment variables (only
+  /// consulted when this field is off, so code wins over environment).
+  trace::TraceConfig trace;
+
   /// Throws UsageError when the fields are inconsistent (e.g. a multi
   /// scenario routed through ad_plfs, or zero jobs/writers).
   void validate() const;
@@ -106,6 +116,15 @@ struct Observation {
   ior::ProbeResult probe;
   /// Aggregate-bandwidth timeline when telemetry_interval > 0.
   trace::Series bandwidth;
+
+  // -- event tracing (scenario.trace.mode != off) -------------------------
+  /// True when the run carried a trace::Recorder.
+  bool traced = false;
+  /// Per-run roll-up (per-job/per-OST bytes, Jain, mean queue depth);
+  /// numbers match FileSystem::sched_* exactly.
+  trace::RunSummary trace_summary;
+  /// Chrome trace_event JSON (full mode only; empty otherwise).
+  std::string trace_json;
 
   /// The scenario's headline number: write (or read-only) MB/s for
   /// ior/plfs, mean per-job write MB/s for multi, mean per-process MB/s

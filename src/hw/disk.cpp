@@ -13,6 +13,16 @@ DiskModel::DiskModel(sim::Engine& eng, DiskParams params)
 
 void DiskModel::enqueue(Request req) {
   auto [it, inserted] = queues_.try_emplace(req.stream);
+  if (auto* rec = eng_->recorder();
+      rec != nullptr && rec->enabled(trace::Cat::disk)) {
+    const trace::TrackId track = track_.get(*rec, trace_label_);
+    if (inserted) {
+      rec->instant(trace::Cat::disk, track, "stream_open", eng_->now(),
+                   static_cast<std::int64_t>(req.stream));
+    }
+    rec->counter(trace::Cat::disk, track, "queue", eng_->now(),
+                 static_cast<double>(queued_ + 1));
+  }
   if (it->second.pending.empty()) {
     ++runnable_;
     // Stream becomes runnable: add to the rotation unless it is the one
@@ -33,6 +43,12 @@ void DiskModel::set_service_multiplier(double factor) {
 }
 
 void DiskModel::forget_stream(StreamId stream) {
+  if (auto* rec = eng_->recorder();
+      rec != nullptr && rec->enabled(trace::Cat::disk)) {
+    rec->instant(trace::Cat::disk, track_.get(*rec, trace_label_),
+                 "stream_close", eng_->now(),
+                 static_cast<std::int64_t>(stream));
+  }
   auto it = queues_.find(stream);
   if (it != queues_.end() && it->second.pending.empty()) queues_.erase(it);
   next_offset_.erase(stream);
@@ -172,7 +188,27 @@ sim::Task DiskModel::service_loop() {
     ++requests_;
     next_offset_[req.stream] = req.offset + req.bytes;
 
+    // One sync span per serviced request (the loop serves one at a time,
+    // so spans on this track never nest), plus hot-set transitions.
+    auto* rec = eng_->recorder();
+    const bool traced = rec != nullptr && rec->enabled(trace::Cat::disk);
+    if (traced) {
+      const trace::TrackId track = track_.get(*rec, trace_label_);
+      if (hot_counts_.size() != traced_hot_) {
+        traced_hot_ = hot_counts_.size();
+        rec->counter(trace::Cat::disk, track, "hot_streams", eng_->now(),
+                     static_cast<double>(traced_hot_));
+      }
+      rec->begin(trace::Cat::disk, track, "service", eng_->now(), 0,
+                 static_cast<std::int64_t>(req.stream),
+                 static_cast<std::int64_t>(req.bytes));
+    }
+
     co_await eng_->delay(t);
+    if (traced) {
+      rec->end(trace::Cat::disk, track_.get(*rec, trace_label_), "service",
+               eng_->now(), 0, static_cast<std::int64_t>(req.stream));
+    }
     eng_->schedule(req.waiter, eng_->now());
   }
 }

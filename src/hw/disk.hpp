@@ -36,6 +36,7 @@
 #include "sim/resources.hpp"
 #include "sim/task.hpp"
 #include "support/units.hpp"
+#include "trace/recorder.hpp"
 
 namespace pfsc::hw {
 
@@ -117,6 +118,10 @@ class DiskModel {
   std::size_t hot_streams() const { return hot_counts_.size(); }
   const DiskParams& params() const { return params_; }
 
+  /// Name this disk's trace track ("ost7.disk"); set by the owning
+  /// FileSystem. Unnamed disks trace as "disk".
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+
  private:
   struct Request {
     StreamId stream;
@@ -160,6 +165,12 @@ class DiskModel {
   // Sliding window of recently-serviced stream ids.
   std::deque<StreamId> hot_ring_;
   std::unordered_map<StreamId, std::uint32_t> hot_counts_;
+
+  // Tracing: stream open/close instants, hot-window transitions, and one
+  // sync span per serviced request (the loop serves one at a time).
+  std::string trace_label_ = "disk";
+  trace::TrackHandle track_;
+  std::size_t traced_hot_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace pfsc::hw

@@ -8,12 +8,15 @@ Client::Client(FileSystem& fs, std::string name, sim::LinkModel* node_nic)
     : fs_(&fs),
       eng_(&fs.engine()),
       name_(std::move(name)),
+      trace_label_("client." + name_),
       proc_pipe_(sim::make_link(fs.engine(), fs.params().link_policy,
                                 fs.params().per_process_bw)),
       node_nic_(node_nic),
       rpc_slots_(fs.engine(), fs.params().client_max_rpcs_in_flight),
       writeback_space_(fs.engine()),
-      writeback_idle_(fs.engine()) {}
+      writeback_idle_(fs.engine()) {
+  proc_pipe_->set_trace_label("pipe." + name_);
+}
 
 sim::Co<Result<InodeId>> Client::create(std::string path, StripeSettings settings) {
   co_return co_await fs_->create(std::move(path), settings);
@@ -30,10 +33,33 @@ sim::Co<Errno> Client::unlink(std::string path) {
 
 sim::Task Client::rpc(OstIndex ost, ObjectId object, Bytes object_offset,
                       Bytes bytes, bool is_write, std::shared_ptr<IoState> state) {
+  // Async span per RPC on this client's track, issue -> completion; the
+  // layers underneath (link flows, scheduler wait, disk service) emit
+  // their own spans, so the lifecycle stages line up in the viewer.
+  std::uint64_t span = 0;
+  if (auto* rec = eng_->recorder();
+      rec != nullptr && rec->enabled(trace::Cat::client)) {
+    span = rec->next_id();
+    rec->begin(trace::Cat::client, track_.get(*rec, trace_label_),
+               is_write ? "write_rpc" : "read_rpc", eng_->now(), span,
+               static_cast<std::int64_t>(job_), static_cast<std::int64_t>(ost),
+               static_cast<double>(bytes));
+  }
+  const auto end_span = [&] {
+    if (span == 0) return;
+    if (auto* rec = eng_->recorder();
+        rec != nullptr && rec->enabled(trace::Cat::client)) {
+      rec->end(trace::Cat::client, track_.get(*rec, trace_label_),
+               is_write ? "write_rpc" : "read_rpc", eng_->now(), span,
+               static_cast<std::int64_t>(job_),
+               static_cast<std::int64_t>(ost));
+    }
+  };
   co_await rpc_slots_.acquire();
   if (fs_->ost_failed(ost)) {
     if (state->err == Errno::ok) state->err = Errno::eio;
     rpc_slots_.release();
+    end_span();
     co_return;
   }
   const Seconds latency = fs_->params().rpc_latency;
@@ -52,6 +78,7 @@ sim::Task Client::rpc(OstIndex ost, ObjectId object, Bytes object_offset,
   co_await eng_->delay(latency);  // reply
   if (fs_->ost_failed(ost) && state->err == Errno::ok) state->err = Errno::eio;
   rpc_slots_.release();
+  end_span();
 }
 
 sim::Co<void> Client::local_copy(Bytes bytes) {

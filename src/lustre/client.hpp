@@ -81,6 +81,8 @@ class Client {
   FileSystem* fs_;
   sim::Engine* eng_;
   std::string name_;
+  std::string trace_label_;    // "client.<name>"
+  trace::TrackHandle track_;
   std::unique_ptr<sim::LinkModel> proc_pipe_;
   sim::LinkModel* node_nic_;
   sim::Resource rpc_slots_;

@@ -29,16 +29,20 @@ FileSystem::FileSystem(sim::Engine& eng, hw::PlatformParams params,
   PFSC_REQUIRE(params_.ost_count > 0 && params_.oss_count > 0,
                "FileSystem: need at least one OSS and OST");
   fabric_ = sim::make_link(eng, params_.link_policy, params_.fabric_bw);
+  fabric_->set_trace_label("fabric");
   oss_pipes_.reserve(params_.oss_count);
   oss_scheds_.reserve(params_.oss_count);
   for (std::uint32_t i = 0; i < params_.oss_count; ++i) {
     oss_pipes_.push_back(sim::make_link(eng, params_.link_policy, params_.oss_bw));
+    oss_pipes_.back()->set_trace_label("oss" + std::to_string(i));
     oss_scheds_.push_back(
         sched::make_scheduler(eng, params_.oss_sched_policy, params_.oss_sched));
+    oss_scheds_.back()->set_trace_label("oss" + std::to_string(i) + ".sched");
   }
   ost_disks_.reserve(params_.ost_count);
   for (std::uint32_t i = 0; i < params_.ost_count; ++i) {
     ost_disks_.push_back(std::make_unique<hw::DiskModel>(eng, params_.ost_disk));
+    ost_disks_.back()->set_trace_label("ost" + std::to_string(i) + ".disk");
   }
   ost_failed_.assign(params_.ost_count, false);
   objects_per_ost_.assign(params_.ost_count, 0);

@@ -101,6 +101,12 @@ class FileSystem {
   sim::Engine& engine() { return *eng_; }
   const hw::PlatformParams& params() const { return params_; }
 
+  /// Liveness token for telemetry probes: a probe capturing `this` must
+  /// hold a weak_ptr of this token and assert it is not expired before
+  /// dereferencing (trace::Sampler's probe packs do; see telemetry.hpp).
+  /// Probes must not outlive their FileSystem.
+  std::shared_ptr<const void> liveness() const { return live_; }
+
   // -- OSS request scheduling --------------------------------------------
   // One scheduler per OSS (built by sched::make_scheduler following
   // params().oss_sched_policy) gates every bulk RPC between its arrival
@@ -160,6 +166,7 @@ class FileSystem {
   hw::PlatformParams params_;
   AllocPolicy policy_;
   Rng rng_;
+  std::shared_ptr<const void> live_ = std::make_shared<int>(0);
 
   std::unique_ptr<sim::LinkModel> fabric_;
   std::vector<std::unique_ptr<sim::LinkModel>> oss_pipes_;

@@ -3,8 +3,8 @@
 namespace pfsc::lustre::sched {
 
 sim::Co<void> FifoSched::admit(JobId job, Bytes bytes) {
-  note_submitted(job, bytes);
-  note_granted(bytes);
+  const std::uint64_t trace_id = note_submitted(job, bytes);
+  note_granted(trace_id, job, bytes);
   co_return;
 }
 

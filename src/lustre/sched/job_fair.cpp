@@ -15,13 +15,14 @@ struct JobFairSched::AdmitAwaiter {
   JobFairSched* sched;
   JobId job;
   Bytes bytes;
+  std::uint64_t trace_id;
 
   bool await_ready() const {
     // Fast path: nothing is backlogged and a slot is free — grant in
     // arrival order without suspending (no engine events).
     if (sched->active_.empty() &&
         sched->in_service() < sched->tuning_.service_slots) {
-      sched->note_granted(bytes);
+      sched->note_granted(trace_id, job, bytes);
       return true;
     }
     return false;
@@ -29,15 +30,15 @@ struct JobFairSched::AdmitAwaiter {
   void await_suspend(std::coroutine_handle<> h) {
     auto& q = sched->queues_[job];
     if (q.empty()) sched->active_.push_back(job);
-    q.push_back(Pending{bytes, h});
+    q.push_back(Pending{bytes, h, trace_id});
     sched->pump();
   }
   void await_resume() const {}
 };
 
 sim::Co<void> JobFairSched::admit(JobId job, Bytes bytes) {
-  note_submitted(job, bytes);
-  co_await AdmitAwaiter{this, job, bytes};
+  const std::uint64_t trace_id = note_submitted(job, bytes);
+  co_await AdmitAwaiter{this, job, bytes, trace_id};
 }
 
 void JobFairSched::pump() {
@@ -52,7 +53,7 @@ void JobFairSched::pump() {
       const Pending head = q.front();
       q.pop_front();
       deficit -= head.bytes;
-      note_granted(head.bytes);
+      note_granted(head.trace_id, job, head.bytes);
       eng_->schedule_after(head.waiter, 0.0);
       if (q.empty()) {
         // Drained: leave the rotation and forfeit the residual deficit

@@ -18,17 +18,38 @@ const char* sched_policy_name(SchedPolicy policy) {
   return "?";
 }
 
-void Scheduler::note_submitted(JobId job, Bytes bytes) {
-  (void)job;
+std::uint64_t Scheduler::note_submitted(JobId job, Bytes bytes) {
   ++queued_;
   submitted_bytes_ += bytes;
+  auto* rec = eng_->recorder();
+  if (rec == nullptr || !rec->enabled(trace::Cat::sched)) return 0;
+  const trace::TrackId track = track_.get(*rec, trace_label_);
+  const Seconds now = eng_->now();
+  const std::uint64_t id = rec->next_id();
+  // The async "wait" span brackets submission -> grant; note_granted ends
+  // it, so an instantly-granting policy records a zero-length wait.
+  rec->begin(trace::Cat::sched, track, "wait", now, id,
+             static_cast<std::int64_t>(job), static_cast<std::int64_t>(bytes));
+  rec->counter(trace::Cat::sched, track, "queue", now,
+               static_cast<double>(queued_));
+  return id;
 }
 
-void Scheduler::note_granted(Bytes bytes) {
+void Scheduler::note_granted(std::uint64_t trace_id, JobId job, Bytes bytes) {
   PFSC_ASSERT(queued_ > 0);
   --queued_;
   ++in_service_;
   admitted_bytes_ += bytes;
+  auto* rec = eng_->recorder();
+  if (rec == nullptr || !rec->enabled(trace::Cat::sched)) return;
+  const trace::TrackId track = track_.get(*rec, trace_label_);
+  const Seconds now = eng_->now();
+  rec->end(trace::Cat::sched, track, "wait", now, trace_id,
+           static_cast<std::int64_t>(job), static_cast<std::int64_t>(bytes));
+  rec->counter(trace::Cat::sched, track, "queue", now,
+               static_cast<double>(queued_));
+  rec->counter(trace::Cat::sched, track, "inflight", now,
+               static_cast<double>(in_service_));
 }
 
 void Scheduler::complete(JobId job, Bytes bytes) {
@@ -38,6 +59,16 @@ void Scheduler::complete(JobId job, Bytes bytes) {
   --in_service_;
   served_bytes_ += bytes;
   served_[job] += bytes;
+  if (auto* rec = eng_->recorder();
+      rec != nullptr && rec->enabled(trace::Cat::sched)) {
+    const trace::TrackId track = track_.get(*rec, trace_label_);
+    const Seconds now = eng_->now();
+    rec->instant(trace::Cat::sched, track, "complete", now,
+                 static_cast<std::int64_t>(job),
+                 static_cast<std::int64_t>(bytes));
+    rec->counter(trace::Cat::sched, track, "inflight", now,
+                 static_cast<double>(in_service_));
+  }
   on_complete();
 }
 

@@ -33,11 +33,13 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
 #include "lustre/sched/policy.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "support/units.hpp"
+#include "trace/recorder.hpp"
 
 namespace pfsc::lustre::sched {
 
@@ -76,16 +78,24 @@ class Scheduler {
 
   const SchedTuning& tuning() const { return tuning_; }
 
+  /// Name this scheduler's trace track ("oss2.sched"); set by the owning
+  /// FileSystem. Unnamed schedulers trace as "sched".
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+
   /// Internal-consistency audit for the fuzz/property tests; throws
   /// SimulationError on a broken queue or accounting invariant.
   virtual void check_invariants() const;
 
  protected:
-  /// Call at arrival (start of admit), before any grant decision.
-  void note_submitted(JobId job, Bytes bytes);
+  /// Call at arrival (start of admit), before any grant decision. Returns
+  /// a trace correlation id (0 when tracing is off) that the policy must
+  /// carry with the request and hand back to note_granted, so the queued
+  /// wait renders as one async span per request.
+  std::uint64_t note_submitted(JobId job, Bytes bytes);
   /// Call at the grant decision (before the waiter actually resumes), so
   /// in_service() already reflects the grant when the next decision runs.
-  void note_granted(Bytes bytes);
+  /// `trace_id` is the matching note_submitted return value.
+  void note_granted(std::uint64_t trace_id, JobId job, Bytes bytes);
   /// Policy hook run after complete()'s accounting (e.g. to grant the
   /// next queued request into the freed service slot).
   virtual void on_complete() {}
@@ -100,6 +110,8 @@ class Scheduler {
   Bytes admitted_bytes_ = 0;
   Bytes served_bytes_ = 0;
   std::map<JobId, Bytes> served_;
+  std::string trace_label_ = "sched";
+  trace::TrackHandle track_;
 };
 
 /// Construct the scheduler implementation selected by `policy`.

@@ -45,6 +45,7 @@ struct TokenBucketSched::AdmitAwaiter {
   TokenBucketSched* sched;
   JobId job;
   Bytes bytes;
+  std::uint64_t trace_id;
 
   bool await_ready() const {
     Bucket& b = sched->bucket(job);
@@ -53,22 +54,22 @@ struct TokenBucketSched::AdmitAwaiter {
     // would overtake a queued head.
     if (b.q.empty() && b.tokens >= sched->need(bytes) - kTokenEps) {
       b.tokens -= static_cast<double>(bytes);
-      sched->note_granted(bytes);
+      sched->note_granted(trace_id, job, bytes);
       return true;
     }
     return false;
   }
   void await_suspend(std::coroutine_handle<> h) {
     Bucket& b = sched->bucket(job);
-    b.q.push_back(Pending{bytes, h});
+    b.q.push_back(Pending{bytes, h, trace_id});
     if (b.q.size() == 1) sched->arm(job, b);
   }
   void await_resume() const {}
 };
 
 sim::Co<void> TokenBucketSched::admit(JobId job, Bytes bytes) {
-  note_submitted(job, bytes);
-  co_await AdmitAwaiter{this, job, bytes};
+  const std::uint64_t trace_id = note_submitted(job, bytes);
+  co_await AdmitAwaiter{this, job, bytes, trace_id};
 }
 
 void TokenBucketSched::drain(JobId job) {
@@ -78,7 +79,7 @@ void TokenBucketSched::drain(JobId job) {
     const Pending head = b.q.front();
     b.q.pop_front();
     b.tokens -= static_cast<double>(head.bytes);
-    note_granted(head.bytes);
+    note_granted(head.trace_id, job, head.bytes);
     eng_->schedule_after(head.waiter, 0.0);
   }
   if (!b.q.empty()) arm(job, b);

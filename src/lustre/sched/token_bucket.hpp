@@ -43,6 +43,7 @@ class TokenBucketSched final : public Scheduler {
   struct Pending {
     Bytes bytes = 0;
     std::coroutine_handle<> waiter;
+    std::uint64_t trace_id = 0;  // note_submitted's span, ended at grant
   };
   struct Bucket {
     double tokens = 0.0;   // may go negative (debt from oversize grants)

@@ -16,6 +16,7 @@ Runtime::Runtime(lustre::FileSystem& fs, int nprocs, int procs_per_node,
   for (int n = 0; n < nodes; ++n) {
     node_nics_.push_back(sim::make_link(fs.engine(), fs.params().link_policy,
                                         fs.params().node_nic_bw));
+    node_nics_.back()->set_trace_label("nic.node" + std::to_string(n));
   }
   clients_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {

@@ -189,6 +189,19 @@ sim::Co<Errno> Plfs::write(lustre::Client& client, WriteHandle& h,
   PFSC_REQUIRE(h.open, "Plfs::write: handle not open");
   if (length == 0) co_return Errno::ok;
 
+  // Async span per plfs_write on the shared "plfs" track: overhead +
+  // admission into the data log's write-back budget (the backend transfer
+  // continues under the client/link/disk spans).
+  sim::Engine& eng = fs_->engine();
+  std::uint64_t span = 0;
+  if (auto* rec = eng.recorder();
+      rec != nullptr && rec->enabled(trace::Cat::plfs)) {
+    span = rec->next_id();
+    rec->begin(trace::Cat::plfs, track_.get(*rec, "plfs"), "write", eng.now(),
+               span, static_cast<std::int64_t>(h.rank),
+               static_cast<std::int64_t>(logical_offset),
+               static_cast<double>(length));
+  }
   // The PLFS write path costs client CPU per call, then hands the append
   // to the page cache (buffered); data reaches the OSTs asynchronously and
   // errors surface at close (fsync semantics).
@@ -196,6 +209,13 @@ sim::Co<Errno> Plfs::write(lustre::Client& client, WriteHandle& h,
     co_await fs_->engine().delay(params_.write_overhead);
   }
   const Errno e = co_await client.write_buffered(h.data_file, h.data_cursor, length);
+  if (span != 0) {
+    if (auto* rec = eng.recorder();
+        rec != nullptr && rec->enabled(trace::Cat::plfs)) {
+      rec->end(trace::Cat::plfs, track_.get(*rec, "plfs"), "write", eng.now(),
+               span, static_cast<std::int64_t>(h.rank));
+    }
+  }
   if (e != Errno::ok) co_return e;
 
   IndexRecord rec;

@@ -21,6 +21,7 @@
 
 #include "lustre/client.hpp"
 #include "lustre/fs.hpp"
+#include "trace/recorder.hpp"
 
 namespace pfsc::plfs {
 
@@ -134,6 +135,7 @@ class Plfs {
 
   lustre::FileSystem* fs_;
   PlfsParams params_;
+  trace::TrackHandle track_;  // shared "plfs" track (args carry the rank)
   /// Shadow of flushed index contents, keyed (container, rank). The
   /// simulator does not store payload bytes, so readers reconstruct the
   /// logical map from this shadow after paying the simulated cost of

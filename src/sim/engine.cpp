@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include "sim/task.hpp"
+#include "trace/recorder.hpp"
 
 namespace pfsc::sim {
 
@@ -43,10 +44,37 @@ void Engine::note_root_done(std::size_t live_index) {
 void Engine::dispatch_one() {
   const Item item = queue_.top();
   queue_.pop();
+  if (!cancelled_.empty() && cancelled_.erase(item.h.address()) > 0) {
+    // Lazily-skipped cancellation: neither time nor the event count moves,
+    // so cancelling is invisible to everything still scheduled.
+    return;
+  }
   PFSC_ASSERT(item.t >= now_);
   now_ = item.t;
   ++executed_;
+  if (recorder_ != nullptr) trace_dispatch();
   item.h.resume();
+}
+
+/// Roll the engine's batched dispatch span: every engine_sample_every()
+/// dispatches, close the open span (arg0 = dispatches it covered) and open
+/// the next. A batch span therefore covers real simulated time — event
+/// density per track row — instead of a zero-duration blip per event.
+void Engine::trace_dispatch() {
+  auto* rec = recorder_;
+  if (!rec->enabled(trace::Cat::engine)) return;
+  if (trace_batch_open_ && ++trace_in_batch_ < rec->engine_sample_every()) {
+    return;
+  }
+  const trace::TrackId track = rec->track("engine");
+  if (trace_batch_open_) {
+    rec->end(trace::Cat::engine, track, "dispatch", now_, 0,
+             static_cast<std::int64_t>(trace_in_batch_));
+  }
+  rec->begin(trace::Cat::engine, track, "dispatch", now_, 0,
+             static_cast<std::int64_t>(executed_));
+  trace_batch_open_ = true;
+  trace_in_batch_ = 0;
 }
 
 void Engine::rethrow_pending() {

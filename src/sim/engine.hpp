@@ -9,10 +9,15 @@
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "support/error.hpp"
 #include "support/units.hpp"
+
+namespace pfsc::trace {
+class Recorder;
+}
 
 namespace pfsc::sim {
 
@@ -64,6 +69,24 @@ class Engine {
     return Awaiter{*this, dt};
   }
 
+  /// Remove a scheduled-but-not-yet-dispatched resume of `h`. The frame is
+  /// neither resumed nor destroyed (a cancelled root is reclaimed at engine
+  /// teardown like any unfinished root); the queue entry is skipped lazily
+  /// when it reaches the front, without advancing time or the event count.
+  /// Used by trace::Sampler::stop() to drop its pending wakeup so a stopped
+  /// sampler cannot keep the engine alive until the next tick.
+  void cancel_scheduled(std::coroutine_handle<> h) {
+    PFSC_ASSERT(h);
+    cancelled_.insert(h.address());
+  }
+
+  // -- event tracing -----------------------------------------------------
+  /// Attach (or with nullptr detach) an event recorder. Not owned; must
+  /// outlive its attachment. Every instrumented layer built on this engine
+  /// emits through it; when unset each hook is a single pointer test.
+  void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
+  trace::Recorder* recorder() const { return recorder_; }
+
   // -- internal, used by Task machinery --------------------------------
   void note_root_done(std::size_t live_index);
   void note_unhandled(std::exception_ptr e) {
@@ -83,6 +106,7 @@ class Engine {
 
   void dispatch_one();
   void rethrow_pending();
+  void trace_dispatch();
 
   Seconds now_ = 0.0;
   std::uint64_t seq_ = 0;
@@ -90,6 +114,13 @@ class Engine {
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
   std::vector<std::coroutine_handle<>> live_roots_;  // unfinished root frames
   std::exception_ptr pending_exception_;
+  std::unordered_set<void*> cancelled_;  // lazily-skipped queue entries
+
+  // Dispatch spans are batched (one span per engine_sample_every()
+  // dispatches) so the engine category cannot drown the event buffer.
+  trace::Recorder* recorder_ = nullptr;
+  bool trace_batch_open_ = false;
+  std::uint32_t trace_in_batch_ = 0;
 };
 
 }  // namespace pfsc::sim

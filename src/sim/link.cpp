@@ -15,6 +15,34 @@ constexpr Seconds kSlackEps = 1e-9;
 
 }  // namespace
 
+std::uint64_t LinkModel::trace_flow_begin(Bytes bytes) {
+  auto* rec = eng_->recorder();
+  if (rec == nullptr || !rec->enabled(trace::Cat::link)) return 0;
+  const trace::TrackId track = track_.get(*rec, trace_label_);
+  const std::uint64_t id = rec->next_id();
+  const Seconds now = eng_->now();
+  rec->begin(trace::Cat::link, track, "flow", now, id,
+             static_cast<std::int64_t>(bytes));
+  // Counters are sampled at the transition; the arriving flow has not yet
+  // joined the model's books, so this reads one low for an instant.
+  rec->counter(trace::Cat::link, track, "flows", now,
+               static_cast<double>(active_flows()));
+  return id;
+}
+
+void LinkModel::trace_flow_end(std::uint64_t id) {
+  if (id == 0) return;
+  auto* rec = eng_->recorder();
+  if (rec == nullptr || !rec->enabled(trace::Cat::link)) return;
+  const trace::TrackId track = track_.get(*rec, trace_label_);
+  const Seconds now = eng_->now();
+  rec->end(trace::Cat::link, track, "flow", now, id);
+  rec->counter(trace::Cat::link, track, "flows", now,
+               static_cast<double>(active_flows()));
+  rec->counter(trace::Cat::link, track, "flow_mbps", now,
+               to_mbps(flow_rate()));
+}
+
 const char* link_policy_name(LinkPolicy policy) {
   switch (policy) {
     case LinkPolicy::fifo: return "fifo";
@@ -24,6 +52,7 @@ const char* link_policy_name(LinkPolicy policy) {
 }
 
 Co<void> FifoPipe::transfer(Bytes bytes) {
+  const std::uint64_t flow = trace_flow_begin(bytes);
   co_await slots_.acquire();
   const Seconds service = latency_ + static_cast<double>(bytes) / rate_;
   busy_time_ += service;
@@ -31,6 +60,7 @@ Co<void> FifoPipe::transfer(Bytes bytes) {
   ++transfers_;
   co_await eng_->delay(service);
   slots_.release();
+  trace_flow_end(flow);
 }
 
 // ---------------------------------------------------------------------------
@@ -55,10 +85,12 @@ struct FairShareAwaiter {
 };
 
 Co<void> FairSharePipe::transfer(Bytes bytes) {
+  const std::uint64_t flow = trace_flow_begin(bytes);
   if (latency_ > 0.0) co_await eng_->delay(latency_);
   co_await FairShareAwaiter{*this, bytes};
   bytes_moved_ += bytes;
   ++transfers_;
+  trace_flow_end(flow);
 }
 
 /// Integrate the virtual clock (and the utilisation integral) up to now.

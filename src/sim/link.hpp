@@ -38,6 +38,7 @@
 #include "sim/resources.hpp"
 #include "sim/task.hpp"
 #include "support/units.hpp"
+#include "trace/recorder.hpp"
 
 namespace pfsc::sim {
 
@@ -83,13 +84,29 @@ class LinkModel {
   Bytes bytes_moved() const { return bytes_moved_; }
   std::uint64_t transfers() const { return transfers_; }
 
+  /// Name this link's trace track ("fabric", "oss3", "nic.node0", ...).
+  /// Owners set it at construction; unnamed links trace as "link".
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+  const std::string& trace_label() const { return trace_label_; }
+
  protected:
+  /// Emit a flow-arrival async span + flow counters; returns the span id
+  /// (0 when tracing is off — trace_flow_end then no-ops). Implementations
+  /// call this at transfer() entry and pair it with trace_flow_end at
+  /// completion, bracketing queueing + service.
+  std::uint64_t trace_flow_begin(Bytes bytes);
+  void trace_flow_end(std::uint64_t id);
+
   Engine* eng_;
   BytesPerSecond rate_;
   Seconds latency_;
   std::size_t channels_;
   Bytes bytes_moved_ = 0;
   std::uint64_t transfers_ = 0;
+
+ private:
+  std::string trace_label_ = "link";
+  trace::TrackHandle track_;
 };
 
 /// FIFO store-and-forward server; see file header. `channels` > 1 models a

@@ -1,6 +1,7 @@
 #include "trace/telemetry.hpp"
 
 #include <sstream>
+#include <utility>
 
 namespace pfsc::trace {
 
@@ -20,66 +21,61 @@ std::size_t Sampler::add_probe(std::string name, Probe probe) {
   return series_.size() - 1;
 }
 
+std::size_t Sampler::add_instruments(InstrumentSet set,
+                                     std::weak_ptr<const void> alive) {
+  PFSC_REQUIRE(!set.empty(), "Sampler: empty instrument set");
+  const std::size_t first = series_.size();
+  const bool guarded = alive.lock() != nullptr;
+  for (Instrument& inst : set) {
+    if (guarded) {
+      add_probe(std::move(inst.name),
+                [read = std::move(inst.read), alive] {
+                  // A firing here means the probed object was destroyed
+                  // while this sampler still reads it; see the lifetime
+                  // rule in the header.
+                  PFSC_ASSERT(!alive.expired());
+                  return read();
+                });
+    } else {
+      add_probe(std::move(inst.name), std::move(inst.read));
+    }
+  }
+  return first;
+}
+
 std::size_t Sampler::add_total_bytes_probe(lustre::FileSystem& fs) {
-  return add_probe("total_bytes", [&fs] {
-    return static_cast<double>(fs.total_bytes_written());
-  });
+  return add_instruments(total_bytes_instruments(fs), fs.liveness());
 }
 
 std::size_t Sampler::add_ost_busy_probe(lustre::FileSystem& fs,
                                         lustre::OstIndex ost) {
-  return add_probe("ost" + std::to_string(ost) + "_busy",
-                   [&fs, ost] { return fs.ost_disk(ost).busy_time(); });
+  InstrumentSet set = ost_instruments(fs, ost);
+  set.resize(1);  // busy only; add_ost_queue_probe registers the other half
+  return add_instruments(std::move(set), fs.liveness());
 }
 
 std::size_t Sampler::add_ost_queue_probe(lustre::FileSystem& fs,
                                          lustre::OstIndex ost) {
-  return add_probe("ost" + std::to_string(ost) + "_queue", [&fs, ost] {
-    return static_cast<double>(fs.ost_disk(ost).queue_depth());
-  });
+  InstrumentSet set = ost_instruments(fs, ost);
+  set.erase(set.begin());
+  return add_instruments(std::move(set), fs.liveness());
 }
-
-namespace {
-
-std::size_t add_link_probes(Sampler& sampler, const std::string& prefix,
-                            sim::LinkModel& link) {
-  const std::size_t first = sampler.add_probe(prefix + "_flows", [&link] {
-    return static_cast<double>(link.active_flows());
-  });
-  sampler.add_probe(prefix + "_flow_mbps",
-                    [&link] { return to_mbps(link.flow_rate()); });
-  sampler.add_probe(prefix + "_util", [&link] { return link.utilisation(); });
-  return first;
-}
-
-}  // namespace
 
 std::size_t Sampler::add_fabric_probe(lustre::FileSystem& fs) {
-  return add_link_probes(*this, "fabric", fs.fabric());
+  return add_instruments(link_instruments("fabric", fs.fabric()),
+                         fs.liveness());
 }
 
 std::size_t Sampler::add_oss_probe(lustre::FileSystem& fs, std::uint32_t oss) {
-  return add_link_probes(*this, "oss" + std::to_string(oss), fs.oss_pipe(oss));
+  return add_instruments(
+      link_instruments("oss" + std::to_string(oss), fs.oss_pipe(oss)),
+      fs.liveness());
 }
 
 std::size_t Sampler::add_sched_probe(lustre::FileSystem& fs,
                                      std::vector<lustre::sched::JobId> jobs) {
-  const std::size_t first = add_probe("sched_queue", [&fs] {
-    return static_cast<double>(fs.sched_queue_depth());
-  });
-  add_probe("sched_inflight",
-            [&fs] { return static_cast<double>(fs.sched_in_service()); });
-  add_probe("sched_jain", [&fs] { return fs.sched_jain(); });
-  for (const lustre::sched::JobId job : jobs) {
-    add_probe("job" + std::to_string(job) + "_bytes", [&fs, job] {
-      double bytes = 0.0;
-      for (std::uint32_t oss = 0; oss < fs.params().oss_count; ++oss) {
-        bytes += static_cast<double>(fs.oss_sched(oss).served_bytes(job));
-      }
-      return bytes;
-    });
-  }
-  return first;
+  return add_instruments(sched_instruments(fs, std::move(jobs)),
+                         fs.liveness());
 }
 
 void Sampler::start() {
@@ -88,14 +84,46 @@ void Sampler::start() {
   eng_->spawn(run());
 }
 
+void Sampler::stop() {
+  stopped_ = true;
+  if (pending_wake_) {
+    // The run() coroutine is parked between ticks; drop its wakeup so the
+    // engine is free to drain now. The frame is reclaimed at teardown.
+    eng_->cancel_scheduled(pending_wake_);
+    pending_wake_ = nullptr;
+  }
+}
+
+void Sampler::sample_tick() {
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    series_[i].at.push_back(eng_->now());
+    series_[i].value.push_back(probes_[i]());
+  }
+  mirror_to_recorder();
+}
+
+void Sampler::mirror_to_recorder() {
+  auto* rec = eng_->recorder();
+  if (rec == nullptr || !rec->enabled(Cat::sampler)) return;
+  if (names_rec_ != rec) {
+    rec_names_.clear();
+    rec_names_.reserve(series_.size());
+    for (const Series& s : series_) rec_names_.push_back(rec->intern(s.name));
+    names_rec_ = rec;
+  }
+  const TrackId track = track_.get(*rec, "sampler");
+  const Seconds now = eng_->now();
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    rec->counter(Cat::sampler, track, rec_names_[i], now,
+                 series_[i].value.back());
+  }
+}
+
 sim::Task Sampler::run() {
   for (std::size_t tick = 0; tick < max_ticks_ && !stopped_; ++tick) {
-    for (std::size_t i = 0; i < probes_.size(); ++i) {
-      series_[i].at.push_back(eng_->now());
-      series_[i].value.push_back(probes_[i]());
-    }
+    sample_tick();
     if (active_ && !active_()) break;
-    co_await eng_->delay(interval_);
+    co_await TickWait{this};
   }
 }
 

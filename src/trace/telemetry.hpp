@@ -1,14 +1,28 @@
 // Telemetry: periodic sampling of simulated-system counters into time
 // series, for bandwidth timelines and per-device utilisation breakdowns.
 //
-// A Sampler is a simulation process that wakes every `interval` seconds and
-// snapshots a set of registered probes (fabric bytes, per-OST bytes and
-// busy time, client counters, ...). Series are exportable as CSV for
-// offline plotting; `bandwidth_timeline` post-processes cumulative byte
-// counters into per-interval MB/s.
+// A Sampler is a simulation process that wakes every `interval` seconds
+// and snapshots a set of registered probes (fabric bytes, per-OST bytes
+// and busy time, client counters, ...). Probes are registered either
+// directly (add_probe) or as trace::Instrument packs (add_instruments,
+// which also guards against probes outliving the devices they read).
+// Series are exportable as CSV for offline plotting; `bandwidth_timeline`
+// post-processes cumulative byte counters into per-interval MB/s.
+//
+// When the engine has a trace::Recorder attached, every tick is mirrored
+// into it as Cat::sampler counter events on the "sampler" track, so the
+// sampled series land in the same Chrome trace as the event-driven spans.
+//
+// Lifetime rule: probes read live simulator objects by reference, so a
+// probe must not outlive the object it reads. Register probes through
+// add_instruments with FileSystem::liveness() (the convenience packs
+// below do) and a stale read trips an assertion instead of undefined
+// behaviour.
 #pragma once
 
+#include <coroutine>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +30,8 @@
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "support/units.hpp"
+#include "trace/instruments.hpp"
+#include "trace/recorder.hpp"
 
 namespace pfsc::trace {
 
@@ -49,7 +65,13 @@ class Sampler {
   /// Register a probe; returns its series index.
   std::size_t add_probe(std::string name, Probe probe);
 
-  // -- convenience probe packs -----------------------------------------
+  /// Register a pack of instruments; returns the index of the first
+  /// series. When `alive` is non-empty every read asserts the token has
+  /// not expired, catching probes that outlive their FileSystem.
+  std::size_t add_instruments(InstrumentSet set,
+                              std::weak_ptr<const void> alive = {});
+
+  // -- convenience probe packs (instrument builders + liveness guard) ----
   /// Cumulative bytes written to all OSTs of `fs`.
   std::size_t add_total_bytes_probe(lustre::FileSystem& fs);
   /// Cumulative busy seconds of one OST.
@@ -74,7 +96,9 @@ class Sampler {
   /// Start sampling (spawns the sampler process). Sampling ends when the
   /// engine drains or `stop()` is called.
   void start();
-  void stop() { stopped_ = true; }
+  /// Stop sampling. Also cancels the pending between-ticks wakeup, so a
+  /// stopped sampler does not keep the engine alive until the next tick.
+  void stop();
 
   const std::vector<Series>& series() const { return series_; }
   const Series& series(std::size_t idx) const;
@@ -87,7 +111,21 @@ class Sampler {
   std::string to_csv() const;
 
  private:
+  /// delay(interval_) that records the suspended handle so stop() can
+  /// cancel it through Engine::cancel_scheduled.
+  struct TickWait {
+    Sampler* self;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      self->pending_wake_ = h;
+      self->eng_->schedule_after(h, self->interval_);
+    }
+    void await_resume() const noexcept { self->pending_wake_ = nullptr; }
+  };
+
   sim::Task run();
+  void sample_tick();
+  void mirror_to_recorder();
 
   sim::Engine* eng_;
   Seconds interval_;
@@ -97,6 +135,13 @@ class Sampler {
   std::vector<Series> series_;
   bool started_ = false;
   bool stopped_ = false;
+  std::coroutine_handle<> pending_wake_;
+
+  // Recorder mirroring: interned per-series counter names, re-interned
+  // when a different recorder shows up (fresh Rig per repetition).
+  TrackHandle track_;
+  Recorder* names_rec_ = nullptr;
+  std::vector<const char*> rec_names_;
 };
 
 }  // namespace pfsc::trace

@@ -218,6 +218,47 @@ TEST(CliEnumFlags, SchedTuningFlagsDriveTheTuningStruct) {
   EXPECT_EQ(scenario.platform.oss_sched.bucket_depth, 32_MiB);
 }
 
+TEST(CliTraceFlags, ParseStrictlyAndDriveTraceConfig) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  std::vector<std::string> args = {"prog",        "--trace",          "full",
+                                   "--trace_out", "run.{seed}.json",
+                                   "--trace_interval", "0.25"};
+  auto argv = argv_of(args);
+  table.parse(static_cast<int>(argv.size()), argv.data(), 1);
+  EXPECT_EQ(scenario.trace.mode, trace::TraceMode::full);
+  EXPECT_EQ(scenario.trace.out, "run.{seed}.json");
+  EXPECT_DOUBLE_EQ(scenario.trace.interval, 0.25);
+
+  std::vector<std::string> summary = {"prog", "--trace", "summary"};
+  auto argv2 = argv_of(summary);
+  table.parse(static_cast<int>(argv2.size()), argv2.data(), 1);
+  EXPECT_EQ(scenario.trace.mode, trace::TraceMode::summary);
+
+  // Unknown mode: strict error listing the valid choices, no silent default.
+  std::vector<std::string> bad = {"prog", "--trace", "everything"};
+  auto argv3 = argv_of(bad);
+  try {
+    table.parse(static_cast<int>(argv3.size()), argv3.data(), 1);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("off"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("summary"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("full"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(scenario.trace.mode, trace::TraceMode::summary);
+
+  // A garbage interval is an error too (never a silent zero).
+  std::vector<std::string> bad2 = {"prog", "--trace_interval", "fast"};
+  auto argv4 = argv_of(bad2);
+  EXPECT_THROW(table.parse(static_cast<int>(argv4.size()), argv4.data(), 1),
+               UsageError);
+}
+
 TEST(CliScenarioFlags, UsageListsFieldNamesAndAliases) {
   Scenario scenario;
   RunPlan plan;

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Gate clang-tidy output against a committed warning-count baseline.
+
+Counts distinct `file:line:col: warning: ... [check]` diagnostics in a
+clang-tidy log and compares against `.github/clang-tidy-baseline.txt`:
+
+  * baseline says `bootstrap`  -> always pass; print the count so a later
+    PR can freeze it as the numeric baseline;
+  * baseline is a number N     -> fail if the current count exceeds N,
+    and suggest ratcheting the baseline down when the count shrinks.
+
+Usage: check_tidy_baseline.py tidy.log .github/clang-tidy-baseline.txt
+"""
+import re
+import sys
+
+WARNING_RE = re.compile(r"^[^\s].*:\d+:\d+: warning: .* \[[-\w.,]+\]$")
+
+
+def count_warnings(log_path: str) -> int:
+    seen = set()
+    with open(log_path, encoding="utf-8", errors="replace") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if WARNING_RE.match(line):
+                seen.add(line)  # dedupe: headers are diagnosed once per TU
+    return len(seen)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    log_path, baseline_path = sys.argv[1], sys.argv[2]
+    count = count_warnings(log_path)
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = f.read().strip()
+
+    if baseline == "bootstrap":
+        print(f"clang-tidy: {count} warning(s); baseline is 'bootstrap', "
+              f"passing. Freeze it by writing {count} to {baseline_path}.")
+        return 0
+
+    limit = int(baseline)
+    if count > limit:
+        print(f"clang-tidy: {count} warning(s) exceeds baseline {limit}. "
+              f"Fix new warnings or (with justification) raise the baseline.",
+              file=sys.stderr)
+        return 1
+    if count < limit:
+        print(f"clang-tidy: {count} warning(s), below baseline {limit} — "
+              f"consider ratcheting {baseline_path} down to {count}.")
+    else:
+        print(f"clang-tidy: {count} warning(s), at baseline {limit}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

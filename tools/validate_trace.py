@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate a pfsc Chrome trace_event JSON file.
+
+Checks (stdlib only, used by CI and by hand):
+  * the file parses as JSON and has a non-empty "traceEvents" array;
+  * every required category contributes at least one span event;
+  * per (pid, tid) timestamps are monotonically non-decreasing;
+  * sync B/E begins and ends balance per (pid, tid).
+
+Usage: validate_trace.py [--require-cats a,b,c] trace.json [more.json ...]
+"""
+import argparse
+import json
+import sys
+
+
+def validate(path: str, required_cats: list[str]) -> list[str]:
+    errors: list[str] = []
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: traceEvents missing or empty"]
+
+    span_cats = set()
+    last_ts: dict[tuple, float] = {}
+    depth: dict[tuple, int] = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        key = (e.get("pid"), e.get("tid"))
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{path}: event {i} has no numeric ts")
+            continue
+        if ts < last_ts.get(key, float("-inf")):
+            errors.append(
+                f"{path}: event {i} ts {ts} goes backwards on track {key}")
+        last_ts[key] = ts
+        if ph in ("B", "b"):
+            span_cats.add(e.get("cat"))
+        if ph == "B":
+            depth[key] = depth.get(key, 0) + 1
+        elif ph == "E":
+            depth[key] = depth.get(key, 0) - 1
+            if depth[key] < 0:
+                errors.append(f"{path}: event {i} E without B on track {key}")
+
+    for key, d in depth.items():
+        if d != 0:
+            errors.append(f"{path}: {d} unclosed sync span(s) on track {key}")
+    for cat in required_cats:
+        if cat not in span_cats:
+            errors.append(f"{path}: no span events in category '{cat}'")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--require-cats", default="",
+                        help="comma-separated categories that must have spans")
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+    required = [c for c in args.require_cats.split(",") if c]
+
+    failed = False
+    for path in args.files:
+        errors = validate(path, required)
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"FAIL {err}", file=sys.stderr)
+        else:
+            print(f"OK   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
