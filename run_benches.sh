@@ -1,6 +1,16 @@
 #!/bin/bash
 # Regenerates every paper table/figure plus ablations and microbenchmarks.
+# micro_simcore additionally emits BENCH_simcore.json (Google Benchmark
+# JSON), the machine-readable record the CI perf gate checks with
+# tools/check_bench_baseline.py.
 cd /root/repo
 for b in build/bench/*; do
-  "$b"
+  case "$(basename "$b")" in
+    micro_simcore)
+      "$b" --benchmark_out=BENCH_simcore.json --benchmark_out_format=json
+      ;;
+    *)
+      "$b"
+      ;;
+  esac
 done

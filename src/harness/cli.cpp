@@ -44,6 +44,13 @@ lustre::sched::SchedPolicy parse_sched_policy(std::string_view flag,
   bad_value(flag, text, "expected one of: fifo, job_fair, token_bucket");
 }
 
+sim::EventQueuePolicy parse_event_queue_policy(std::string_view flag,
+                                               std::string_view text) {
+  if (text == "binary_heap") return sim::EventQueuePolicy::binary_heap;
+  if (text == "ladder") return sim::EventQueuePolicy::ladder;
+  bad_value(flag, text, "expected one of: binary_heap, ladder");
+}
+
 trace::TraceMode parse_trace_mode(std::string_view flag, std::string_view text) {
   trace::TraceMode mode = trace::TraceMode::off;
   if (!trace::parse_trace_mode(text, mode)) {
@@ -248,6 +255,13 @@ FlagTable scenario_flags(Scenario& scenario, RunPlan& plan, unsigned& threads) {
                   parse_sched_policy("--sched_policy", text);
             });
   table.alias("--sched-policy").alias("--oss_sched_policy");
+  table.add("--event_queue", "POLICY",
+            "engine pending-event queue: binary_heap | ladder",
+            [&scenario](std::string_view text) {
+              scenario.platform.event_queue =
+                  parse_event_queue_policy("--event_queue", text);
+            });
+  table.alias("--event-queue");
   table.bind_bytes("--sched_quantum", scenario.platform.oss_sched.quantum,
                    "job_fair deficit quantum per round-robin visit");
   table.add("--sched_slots", "N",

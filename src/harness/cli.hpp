@@ -32,6 +32,8 @@ Bytes parse_bytes(std::string_view flag, std::string_view text);
 sim::LinkPolicy parse_link_policy(std::string_view flag, std::string_view text);
 lustre::sched::SchedPolicy parse_sched_policy(std::string_view flag,
                                               std::string_view text);
+sim::EventQueuePolicy parse_event_queue_policy(std::string_view flag,
+                                               std::string_view text);
 trace::TraceMode parse_trace_mode(std::string_view flag, std::string_view text);
 
 // -- flag table -------------------------------------------------------------

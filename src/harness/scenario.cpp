@@ -78,7 +78,9 @@ struct Rig {
   std::unique_ptr<trace::Sampler> trace_sampler;
 
   Rig(const Scenario& s, int nprocs, std::uint64_t seed)
-      : fs(eng, s.platform, seed), rt(fs, nprocs, s.procs_per_node) {
+      : eng(s.platform.event_queue),
+        fs(eng, s.platform, seed),
+        rt(fs, nprocs, s.procs_per_node) {
     if (s.trace.mode != trace::TraceMode::off) {
       recorder = std::make_unique<trace::Recorder>(s.trace);
       eng.set_recorder(recorder.get());

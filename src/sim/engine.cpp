@@ -5,18 +5,29 @@
 
 namespace pfsc::sim {
 
+Engine::Engine(EventQueuePolicy policy)
+    : prev_arena_(FrameArena::exchange_current(&arena_)),
+      queue_(make_event_queue(policy)) {
+  live_roots_.reserve(64);
+}
+
 Engine::~Engine() {
   // Destroy unfinished root frames. Outstanding Task handles to these frames
   // must already have been dropped (documented engine-outlives-tasks rule).
   for (auto h : live_roots_) {
     if (h) h.destroy();
   }
+  live_roots_.clear();
+  FrameArena::exchange_current(prev_arena_);
 }
 
-void Engine::schedule(std::coroutine_handle<> h, Seconds t) {
+WakeToken Engine::schedule(std::coroutine_handle<> h, Seconds t) {
   PFSC_ASSERT(h && !h.done());
   PFSC_ASSERT(t >= now_);
-  queue_.push(Item{t, seq_++, h});
+  const std::uint64_t seq = ++seq_;  // 1-based: token 0 stays null
+  queue_->push(ScheduledEvent{t, seq, h});
+  ++pending_;
+  return WakeToken{seq};
 }
 
 void Engine::spawn(Task task) {
@@ -42,18 +53,29 @@ void Engine::note_root_done(std::size_t live_index) {
 }
 
 void Engine::dispatch_one() {
-  const Item item = queue_.top();
-  queue_.pop();
-  if (!cancelled_.empty() && cancelled_.erase(item.h.address()) > 0) {
+  const ScheduledEvent ev = queue_->pop();
+  --pending_;
+  if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) {
     // Lazily-skipped cancellation: neither time nor the event count moves,
     // so cancelling is invisible to everything still scheduled.
     return;
   }
-  PFSC_ASSERT(item.t >= now_);
-  now_ = item.t;
+  PFSC_ASSERT(ev.t >= now_);
+  now_ = ev.t;
   ++executed_;
   if (recorder_ != nullptr) trace_dispatch();
-  item.h.resume();
+  ev.h.resume();
+}
+
+const ScheduledEvent* Engine::drain_cancelled_front() {
+  const ScheduledEvent* top = queue_->peek();
+  while (top != nullptr && !cancelled_.empty() &&
+         cancelled_.erase(top->seq) > 0) {
+    queue_->pop();
+    --pending_;
+    top = queue_->peek();
+  }
+  return top;
 }
 
 /// Roll the engine's batched dispatch span: every engine_sample_every()
@@ -85,20 +107,26 @@ void Engine::rethrow_pending() {
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
+  while (pending_ != 0) {
     dispatch_one();
     rethrow_pending();
   }
 }
 
 bool Engine::run_until(Seconds t) {
-  while (!queue_.empty() && queue_.top().t <= t) {
+  for (;;) {
+    // Cancelled tombstones are not pending work: drain them first so an
+    // engine left with nothing but a stopped sampler's wakeup reports
+    // "drained" instead of fast-forwarding the clock to t.
+    const ScheduledEvent* top = drain_cancelled_front();
+    if (top == nullptr) return true;
+    if (top->t > t) {
+      now_ = t;
+      return false;
+    }
     dispatch_one();
     rethrow_pending();
   }
-  if (queue_.empty()) return true;
-  now_ = t;
-  return false;
 }
 
 }  // namespace pfsc::sim

@@ -1,6 +1,7 @@
 #include "sim/link.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace pfsc::sim {
 
@@ -120,7 +121,8 @@ double FairSharePipe::utilisation() const {
 }
 
 void FairSharePipe::join(Flow flow) {
-  flows_.push(std::move(flow));
+  flows_.push_back(std::move(flow));
+  std::push_heap(flows_.begin(), flows_.end(), LaterFinish{});
   arm();
 }
 
@@ -130,32 +132,51 @@ void FairSharePipe::join(Flow flow) {
 void FairSharePipe::complete_due() {
   const Seconds now = eng_->now();
   while (!flows_.empty()) {
-    const double remaining_v = flows_.top().finish_v - vtime_;
+    const double remaining_v = flows_.front().finish_v - vtime_;
     const Seconds remaining_t = remaining_v / speed(flows_.size());
     if (remaining_t > kSlackEps) break;
-    const Flow flow = flows_.top();
-    flows_.pop();
-    eng_->schedule(flow.waiter, now);
+    std::pop_heap(flows_.begin(), flows_.end(), LaterFinish{});
+    eng_->schedule(flows_.back().waiter, now);
+    flows_.pop_back();
   }
 }
 
-/// (Re-)schedule the wake-up for the earliest completion. Timers cannot be
-/// cancelled, so each re-arm bumps the generation and a superseded timer
-/// no-ops when it fires.
+/// Parks the persistent timer coroutine and arms it for the earliest
+/// completion. Publishing the handle from await_suspend (rather than
+/// spawning the coroutine armed) closes the construction-order gap: flows
+/// that join before the timer root's first dispatch find timer_h_ null,
+/// and this arm() catches up for them.
+struct FairShareTimerPark {
+  FairSharePipe& pipe;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    pipe.timer_h_ = h;
+    pipe.arm();
+  }
+  void await_resume() const noexcept {
+    pipe.timer_token_ = WakeToken{};  // this wakeup just fired
+  }
+};
+
+/// (Re-)schedule the timer for the earliest completion: cancel the pending
+/// wakeup by token and schedule a fresh one. No-op until the timer
+/// coroutine has parked for the first time (it re-arms itself on parking).
 void FairSharePipe::arm() {
-  ++timer_generation_;
-  if (flows_.empty()) return;
-  const double remaining_v = flows_.top().finish_v - vtime_;
+  eng_->cancel_scheduled(std::exchange(timer_token_, WakeToken{}));
+  if (flows_.empty() || !timer_h_) return;
+  const double remaining_v = flows_.front().finish_v - vtime_;
   const Seconds dt = std::max(0.0, remaining_v / speed(flows_.size()));
-  eng_->spawn(wakeup(timer_generation_, dt));
+  timer_token_ = eng_->schedule_after(timer_h_, dt);
 }
 
-Task FairSharePipe::wakeup(std::uint64_t generation, Seconds dt) {
-  co_await eng_->delay(dt);
-  if (generation != timer_generation_) co_return;  // superseded
-  advance_clock();
-  complete_due();
-  arm();
+/// The pipe's one timer coroutine: parks, and on each wakeup settles all
+/// due completions. Re-parking re-arms for whatever is due next.
+Task FairSharePipe::timer_loop() {
+  for (;;) {
+    co_await FairShareTimerPark{*this};
+    advance_clock();
+    complete_due();
+  }
 }
 
 std::unique_ptr<LinkModel> make_link(Engine& eng, LinkPolicy policy,

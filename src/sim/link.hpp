@@ -145,14 +145,21 @@ class FifoPipe final : public LinkModel {
 /// g(n) = min(1, channels/n), so one scalar virtual clock V with
 /// dV/dt = g(n) orders every completion: a flow of `bytes` arriving at
 /// virtual time V_a finishes when V reaches V_a + bytes/rate. Arrivals and
-/// departures each cost one heap operation plus an O(1) clock advance; the
-/// wake-up timer is re-armed (generation-counted, stale timers no-op)
-/// whenever the earliest completion changes.
+/// departures each cost one heap operation plus an O(1) clock advance. One
+/// persistent timer coroutine sleeps until the earliest completion; every
+/// change to the earliest completion cancels its pending wakeup by token
+/// (Engine::cancel_scheduled) and re-schedules it, so re-arming costs two
+/// queue operations instead of the coroutine spawn per arrival/departure
+/// the old generation-counted timer paid.
 class FairSharePipe final : public LinkModel {
  public:
   FairSharePipe(Engine& eng, BytesPerSecond rate,
                 Seconds per_message_latency = 0.0, std::size_t channels = 1)
-      : LinkModel(eng, rate, per_message_latency, channels) {}
+      : LinkModel(eng, rate, per_message_latency, channels) {
+    flows_.reserve(64);
+    eng.spawn(timer_loop());
+  }
+  ~FairSharePipe() override { eng_->cancel_scheduled(timer_token_); }
 
   Co<void> transfer(Bytes bytes) override;
 
@@ -187,16 +194,18 @@ class FairSharePipe final : public LinkModel {
   void join(Flow flow);
   void complete_due();
   void arm();
-  Task wakeup(std::uint64_t generation, Seconds dt);
+  Task timer_loop();
 
   friend struct FairShareAwaiter;
+  friend struct FairShareTimerPark;
 
-  std::priority_queue<Flow, std::vector<Flow>, LaterFinish> flows_;
+  std::vector<Flow> flows_;  // min-heap on (finish_v, id) via LaterFinish
   double vtime_ = 0.0;
   Seconds last_update_ = 0.0;
   Seconds busy_time_ = 0.0;  // integral of min(n, channels)/channels dt
   std::uint64_t next_flow_id_ = 0;
-  std::uint64_t timer_generation_ = 0;
+  std::coroutine_handle<> timer_h_;  // parked persistent timer coroutine
+  WakeToken timer_token_;            // its pending wakeup; null when unarmed
 };
 
 /// Construct the link implementation selected by `policy`.

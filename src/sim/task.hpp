@@ -19,6 +19,11 @@
 // joiners may safely outlive completion and fire-and-forget spawns free
 // themselves. Exceptions propagate to the awaiter; a root task that fails
 // with no joiner surfaces its exception from Engine::run().
+//
+// Allocation: both promise types inherit FramePooled (arena.hpp), so
+// coroutine frames created while an Engine is alive are recycled through
+// that engine's free-list arena instead of malloc. Frames must not outlive
+// the engine (same rule the ref-counting already imposes on Task handles).
 #pragma once
 
 #include <coroutine>
@@ -27,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/engine.hpp"
 #include "support/error.hpp"
 
@@ -65,7 +71,7 @@ class Task {
   std::coroutine_handle<TaskPromise> h_;
 };
 
-class TaskPromise {
+class TaskPromise : public FramePooled {
  public:
   Task get_return_object();
   std::suspend_always initial_suspend() noexcept { return {}; }
@@ -78,9 +84,14 @@ class TaskPromise {
         p.done_ = true;
         if (Engine* eng = p.engine_) {
           eng->note_root_done(p.live_index_);
-          for (auto waiter : p.waiters_) eng->schedule(waiter, eng->now());
-          if (p.exception_ && p.waiters_.empty()) eng->note_unhandled(p.exception_);
-          p.waiters_.clear();
+          if (p.first_waiter_) {
+            eng->schedule(p.first_waiter_, eng->now());
+            for (auto waiter : p.extra_waiters_) eng->schedule(waiter, eng->now());
+          } else if (p.exception_) {
+            eng->note_unhandled(p.exception_);
+          }
+          p.first_waiter_ = nullptr;
+          p.extra_waiters_.clear();
           if (p.release_ref()) {  // drop the engine's reference
             h.destroy();
             return true;
@@ -103,7 +114,15 @@ class TaskPromise {
   bool done() const noexcept { return done_; }
   bool spawned() const noexcept { return engine_ != nullptr; }
   std::exception_ptr exception() const noexcept { return exception_; }
-  void add_waiter(std::coroutine_handle<> h) { waiters_.push_back(h); }
+  // Joiner list with an inline first slot: almost every task has 0 or 1
+  // joiners, so the common case never touches the overflow vector.
+  void add_waiter(std::coroutine_handle<> h) {
+    if (!first_waiter_) {
+      first_waiter_ = h;
+    } else {
+      extra_waiters_.push_back(h);
+    }
+  }
   void bind(Engine& eng, std::size_t live_index) noexcept {
     engine_ = &eng;
     live_index_ = live_index;
@@ -118,7 +137,8 @@ class TaskPromise {
   int refs_ = 0;
   bool done_ = false;
   std::exception_ptr exception_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::coroutine_handle<> first_waiter_;
+  std::vector<std::coroutine_handle<>> extra_waiters_;
 };
 
 inline Task TaskPromise::get_return_object() {
@@ -207,7 +227,7 @@ class Co {
 };
 
 template <typename T>
-class CoPromiseCore {
+class CoPromiseCore : public FramePooled {
  public:
   std::suspend_always initial_suspend() noexcept { return {}; }
   auto final_suspend() noexcept {

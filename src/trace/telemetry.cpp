@@ -90,7 +90,7 @@ void Sampler::stop() {
     // The run() coroutine is parked between ticks; drop its wakeup so the
     // engine is free to drain now. The frame is reclaimed at teardown.
     eng_->cancel_scheduled(pending_wake_);
-    pending_wake_ = nullptr;
+    pending_wake_ = {};
   }
 }
 

@@ -111,16 +111,15 @@ class Sampler {
   std::string to_csv() const;
 
  private:
-  /// delay(interval_) that records the suspended handle so stop() can
-  /// cancel it through Engine::cancel_scheduled.
+  /// delay(interval_) that records the wake token so stop() can cancel it
+  /// through Engine::cancel_scheduled.
   struct TickWait {
     Sampler* self;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      self->pending_wake_ = h;
-      self->eng_->schedule_after(h, self->interval_);
+      self->pending_wake_ = self->eng_->schedule_after(h, self->interval_);
     }
-    void await_resume() const noexcept { self->pending_wake_ = nullptr; }
+    void await_resume() const noexcept { self->pending_wake_ = {}; }
   };
 
   sim::Task run();
@@ -135,7 +134,7 @@ class Sampler {
   std::vector<Series> series_;
   bool started_ = false;
   bool stopped_ = false;
-  std::coroutine_handle<> pending_wake_;
+  sim::WakeToken pending_wake_;
 
   // Recorder mirroring: interned per-series counter names, re-interned
   // when a different recorder shows up (fresh Rig per repetition).

@@ -201,6 +201,38 @@ TEST(CliEnumFlags, SchedPolicyParsesOrListsChoices) {
   EXPECT_EQ(scenario.platform.oss_sched_policy, SchedPolicy::fifo);
 }
 
+TEST(CliEnumFlags, EventQueueParsesOrListsChoices) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  EXPECT_EQ(scenario.platform.event_queue, sim::EventQueuePolicy::ladder);
+
+  std::vector<std::string> good = {"prog", "--event_queue", "binary_heap"};
+  auto argv1 = argv_of(good);
+  table.parse(static_cast<int>(argv1.size()), argv1.data(), 1);
+  EXPECT_EQ(scenario.platform.event_queue, sim::EventQueuePolicy::binary_heap);
+
+  std::vector<std::string> dashed = {"prog", "--event-queue", "ladder"};
+  auto argv2 = argv_of(dashed);
+  table.parse(static_cast<int>(argv2.size()), argv2.data(), 1);
+  EXPECT_EQ(scenario.platform.event_queue, sim::EventQueuePolicy::ladder);
+
+  std::vector<std::string> bad = {"prog", "--event_queue", "splay"};
+  auto argv3 = argv_of(bad);
+  try {
+    table.parse(static_cast<int>(argv3.size()), argv3.data(), 1);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("binary_heap"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ladder"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("splay"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(scenario.platform.event_queue, sim::EventQueuePolicy::ladder);
+}
+
 TEST(CliEnumFlags, SchedTuningFlagsDriveTheTuningStruct) {
   Scenario scenario;
   RunPlan plan;

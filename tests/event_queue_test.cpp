@@ -1,0 +1,343 @@
+// Unit tests for the pluggable pending-event queues (sim/event_queue.hpp),
+// the token-based cancellation API, and the coroutine-frame arena.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "sim/arena.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+#include "support/rng.hpp"
+
+namespace pfsc::sim {
+namespace {
+
+// A dummy resumable frame so queue entries carry a real handle. The queue
+// never resumes anything in these tests; it only stores and orders.
+std::coroutine_handle<> dummy_handle() {
+  return std::noop_coroutine();
+}
+
+std::vector<ScheduledEvent> drain(EventQueue& q) {
+  std::vector<ScheduledEvent> out;
+  while (!q.empty()) out.push_back(q.pop());
+  return out;
+}
+
+bool ordered(const std::vector<ScheduledEvent>& evs) {
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    if (evs[i - 1].t > evs[i].t) return false;
+    if (evs[i - 1].t == evs[i].t && evs[i - 1].seq > evs[i].seq) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Queue-level ordering
+// ---------------------------------------------------------------------------
+
+class EveryQueue : public ::testing::TestWithParam<EventQueuePolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(Policies, EveryQueue,
+                         ::testing::Values(EventQueuePolicy::binary_heap,
+                                           EventQueuePolicy::ladder),
+                         [](const auto& info) {
+                           return event_queue_policy_name(info.param);
+                         });
+
+TEST_P(EveryQueue, PopsInTimeThenSeqOrder) {
+  auto q = make_event_queue(GetParam());
+  Rng rng(0xE001);
+  std::uint64_t seq = 1;
+  for (int i = 0; i < 1000; ++i) {
+    q->push({rng.uniform_double(0.0, 50.0), seq++, dummy_handle()});
+  }
+  EXPECT_EQ(q->size(), 1000u);
+  auto evs = drain(*q);
+  ASSERT_EQ(evs.size(), 1000u);
+  EXPECT_TRUE(ordered(evs));
+}
+
+TEST_P(EveryQueue, SameTimestampIsFifoBySeq) {
+  auto q = make_event_queue(GetParam());
+  // All at the same instant: pop order must be schedule order, exactly.
+  for (std::uint64_t seq = 1; seq <= 256; ++seq) {
+    q->push({3.25, seq, dummy_handle()});
+  }
+  auto evs = drain(*q);
+  ASSERT_EQ(evs.size(), 256u);
+  for (std::uint64_t i = 0; i < 256; ++i) EXPECT_EQ(evs[i].seq, i + 1);
+}
+
+TEST_P(EveryQueue, PeekMatchesPopAndInterleavesWithPush) {
+  auto q = make_event_queue(GetParam());
+  Rng rng(0xE002);
+  std::uint64_t seq = 1;
+  double now = 0.0;
+  std::vector<ScheduledEvent> popped;
+  for (int round = 0; round < 2000; ++round) {
+    if (q->empty() || rng.uniform(3) != 0) {
+      // Engine invariant: never schedule before the current time.
+      q->push({now + rng.uniform_double(0.0, 10.0), seq++, dummy_handle()});
+    } else {
+      const ScheduledEvent* top = q->peek();
+      ASSERT_NE(top, nullptr);
+      const ScheduledEvent peeked = *top;  // pop() invalidates the pointer
+      const ScheduledEvent ev = q->pop();
+      EXPECT_EQ(ev.t, peeked.t);
+      EXPECT_EQ(ev.seq, peeked.seq);
+      now = ev.t;
+      popped.push_back(ev);
+    }
+  }
+  auto rest = drain(*q);
+  popped.insert(popped.end(), rest.begin(), rest.end());
+  EXPECT_TRUE(ordered(popped));
+  EXPECT_EQ(q->peek(), nullptr);
+}
+
+TEST(LadderQueue, GrowsAndShrinksWithPopulation) {
+  LadderQueue q;
+  const std::size_t initial = q.bucket_count();
+  std::uint64_t seq = 1;
+  Rng rng(0xE003);
+  for (int i = 0; i < 4096; ++i) {
+    q.push({rng.uniform_double(0.0, 100.0), seq++, dummy_handle()});
+  }
+  EXPECT_GT(q.bucket_count(), initial);
+  while (q.size() > 8) (void)q.pop();
+  EXPECT_LT(q.bucket_count(), 4096u);
+  auto evs = drain(q);
+  EXPECT_TRUE(ordered(evs));
+}
+
+TEST(LadderQueue, SparseFarFutureTailStaysOrdered) {
+  // Events separated by far more than a bucket "year" exercise the
+  // fruitless-lap direct-search fallback and the cursor jump.
+  LadderQueue q;
+  std::uint64_t seq = 1;
+  q.push({1.0e-6, seq++, dummy_handle()});
+  q.push({5.0, seq++, dummy_handle()});
+  q.push({9000.0, seq++, dummy_handle()});
+  q.push({9.0e7, seq++, dummy_handle()});
+  auto evs = drain(q);
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_TRUE(ordered(evs));
+  EXPECT_EQ(evs.front().t, 1.0e-6);
+  EXPECT_EQ(evs.back().t, 9.0e7);
+}
+
+TEST(LadderQueue, ReusableAfterFullDrain) {
+  LadderQueue q;
+  std::uint64_t seq = 1;
+  for (int wave = 0; wave < 3; ++wave) {
+    const double base = wave * 1000.0;
+    for (int i = 0; i < 100; ++i) {
+      q.push({base + static_cast<double>(i % 7), seq++, dummy_handle()});
+    }
+    auto evs = drain(q);
+    ASSERT_EQ(evs.size(), 100u);
+    EXPECT_TRUE(ordered(evs));
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token-based cancellation through the Engine
+// ---------------------------------------------------------------------------
+
+struct CaptureHandle {
+  std::coroutine_handle<>* slot;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) { *slot = h; }
+  void await_resume() const noexcept {}
+};
+
+Task suspend_once_then_count(std::coroutine_handle<>* slot, int* fired) {
+  co_await CaptureHandle{slot};
+  ++*fired;
+}
+
+class EveryEngine : public ::testing::TestWithParam<EventQueuePolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(Policies, EveryEngine,
+                         ::testing::Values(EventQueuePolicy::binary_heap,
+                                           EventQueuePolicy::ladder),
+                         [](const auto& info) {
+                           return event_queue_policy_name(info.param);
+                         });
+
+TEST_P(EveryEngine, CancelThenRescheduleStillFires) {
+  // Regression for the address-keyed cancellation bug: cancelling one
+  // wakeup of a frame and then legitimately re-scheduling the same frame
+  // must not swallow the new wakeup. The address-keyed implementation
+  // matched the tombstone against the *frame*, so the reschedule was
+  // skipped and `fired` stayed 0.
+  Engine eng(GetParam());
+  std::coroutine_handle<> h;
+  int fired = 0;
+  eng.spawn(suspend_once_then_count(&h, &fired));
+  EXPECT_TRUE(eng.run_until(0.5));  // runs the task up to its suspend
+  ASSERT_TRUE(h);
+
+  const WakeToken cancelled = eng.schedule_after(h, 1.0);
+  eng.cancel_scheduled(cancelled);
+  eng.schedule_after(h, 2.0);
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 2.0);  // the cancelled 1 s wakeup never advanced time
+}
+
+TEST_P(EveryEngine, CancelledWakeupNeitherAdvancesTimeNorCounts) {
+  Engine eng(GetParam());
+  std::coroutine_handle<> h;
+  int fired = 0;
+  eng.spawn(suspend_once_then_count(&h, &fired));
+  (void)eng.run_until(0.0);
+  ASSERT_TRUE(h);
+  const std::uint64_t executed_before = eng.executed_events();
+
+  const WakeToken tok = eng.schedule_after(h, 4.0);
+  eng.cancel_scheduled(tok);
+  EXPECT_TRUE(eng.run_until(10.0));  // only a tombstone: drains
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(eng.executed_events(), executed_before);
+  EXPECT_EQ(eng.pending_events(), 0u);  // tombstone erased, not retained
+  EXPECT_EQ(eng.now(), 0.0);            // never fast-forwarded to 10
+
+  // The frame is still live: a real wakeup works afterwards.
+  eng.schedule_after(h, 1.0);
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(EveryEngine, RunUntilDrainsLeadingTombstonesBeforeDeciding) {
+  // A cancelled wakeup behind a live one: run_until must pop the live
+  // event, then treat the remaining tombstone as empty.
+  Engine eng(GetParam());
+  std::coroutine_handle<> h;
+  int fired = 0;
+  eng.spawn(suspend_once_then_count(&h, &fired));
+  (void)eng.run_until(0.0);
+  ASSERT_TRUE(h);
+
+  const WakeToken late = eng.schedule_after(h, 5.0);
+  eng.cancel_scheduled(late);
+  eng.schedule_after(h, 1.0);
+  EXPECT_TRUE(eng.run_until(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 1.0);
+}
+
+TEST(EngineCancel, NullTokenIsIgnored) {
+  Engine eng;
+  eng.cancel_scheduled(WakeToken{});  // must be a no-op
+  std::coroutine_handle<> h;
+  int fired = 0;
+  eng.spawn(suspend_once_then_count(&h, &fired));
+  (void)eng.run_until(0.0);
+  eng.schedule_after(h, 1.0);
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EnginePolicy, ReportsItsQueuePolicy) {
+  Engine heap(EventQueuePolicy::binary_heap);
+  EXPECT_EQ(heap.event_queue_policy(), EventQueuePolicy::binary_heap);
+  Engine ladder;
+  EXPECT_EQ(ladder.event_queue_policy(), EventQueuePolicy::ladder);
+}
+
+// ---------------------------------------------------------------------------
+// Frame arena
+// ---------------------------------------------------------------------------
+
+Task tick_task(Engine& eng, int* done) {
+  co_await eng.delay(1.0e-3);
+  ++*done;
+}
+
+Co<int> child_value(Engine& eng) {
+  co_await eng.delay(1.0e-4);
+  co_return 7;
+}
+
+Task parent_task(Engine& eng, int* sum) {
+  *sum += co_await child_value(eng);
+}
+
+TEST(FrameArenaTest, RecyclesFramesAcrossWaves) {
+  Engine eng;
+  int done = 0;
+  for (int wave = 0; wave < 8; ++wave) {
+    for (int i = 0; i < 32; ++i) eng.spawn(tick_task(eng, &done));
+    eng.run();
+  }
+  EXPECT_EQ(done, 8 * 32);
+  const FrameArena& arena = eng.frame_arena();
+  // First wave pays fresh allocations; later waves ride the free lists.
+  EXPECT_GT(arena.fresh_allocations(), 0u);
+  EXPECT_GT(arena.reused_allocations(), arena.fresh_allocations());
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+TEST(FrameArenaTest, ChildFramesPoolToo) {
+  Engine eng;
+  int sum = 0;
+  for (int wave = 0; wave < 4; ++wave) {
+    for (int i = 0; i < 16; ++i) eng.spawn(parent_task(eng, &sum));
+    eng.run();
+  }
+  EXPECT_EQ(sum, 4 * 16 * 7);
+  EXPECT_GT(eng.frame_arena().reused_allocations(), 0u);
+  EXPECT_EQ(eng.frame_arena().outstanding(), 0u);
+}
+
+Task suspend_forever(std::coroutine_handle<>* slot) {
+  co_await CaptureHandle{slot};
+}
+
+TEST(FrameArenaTest, TeardownReclaimsUnfinishedRoots) {
+  // An engine destroyed with parked coroutines must free their frames back
+  // through the arena (ASan in CI watches this test closely).
+  std::coroutine_handle<> h;
+  {
+    Engine eng;
+    eng.spawn(suspend_forever(&h));
+    (void)eng.run_until(0.0);
+    ASSERT_TRUE(h);
+    EXPECT_EQ(eng.frame_arena().outstanding(), 1u);
+  }  // ~Engine destroys the parked root; ~FrameArena asserts outstanding==0
+}
+
+TEST(FrameArenaTest, FramesWithoutAnEngineUseTheGlobalAllocator) {
+  // No engine alive: the thread has no current arena, so frame new/delete
+  // must fall back to ::operator new/delete and still pair up correctly.
+  ASSERT_EQ(FrameArena::current(), nullptr);
+  std::coroutine_handle<> h;
+  int fired = 0;
+  {
+    Task t = suspend_once_then_count(&h, &fired);
+    EXPECT_TRUE(t.valid());
+  }  // destroyed unspawned: frame freed via the fallback path
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(FrameArenaTest, EnginesNestAndRestoreTheCurrentArena) {
+  Engine outer;
+  const FrameArena* outer_arena = &outer.frame_arena();
+  EXPECT_EQ(FrameArena::current(), outer_arena);
+  {
+    Engine inner;
+    EXPECT_EQ(FrameArena::current(), &inner.frame_arena());
+  }
+  EXPECT_EQ(FrameArena::current(), outer_arena);
+}
+
+}  // namespace
+}  // namespace pfsc::sim
