@@ -19,9 +19,7 @@ int main() {
   std::printf("repetitions per point: %u, worker threads: %u\n\n", reps,
               runner.threads());
 
-  harness::Scenario probe;
-  probe.workload = harness::Workload::probe;
-  probe.bytes_per_writer = 64_MiB;
+  harness::Scenario probe = harness::Scenario::probe(1, 64_MiB);
   // lscratchc is a shared-user system: light random background load gives
   // the single-writer runs the natural variance the paper's ideal band is
   // built from.

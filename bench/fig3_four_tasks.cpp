@@ -21,10 +21,7 @@ int main() {
   const double solo = harness::run_scenario(solo_spec, 0xF3).ior.write_mbps;
   std::printf("Solo tuned job: %.0f MB/s (paper: 15,609 MB/s)\n\n", solo);
 
-  harness::Scenario multi = solo_spec;
-  multi.workload = harness::Workload::multi;
-  multi.jobs = 4;
-  multi.nprocs = 1024;
+  harness::Scenario multi = harness::Scenario::multi(4, 1024, solo_spec.ior);
   harness::RunPlan plan;
   plan.repetitions(reps).base_seed(0xF3F3);
   const auto set = runner.run(multi, plan);

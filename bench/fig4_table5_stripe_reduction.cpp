@@ -36,10 +36,7 @@ int main() {
       {160, 4541.37, 191.8, 147.0, 41.8, 7.2, 385.19, 1.66, 387.80, 1.65},
   };
 
-  harness::Scenario multi;
-  multi.workload = harness::Workload::multi;
-  multi.jobs = 4;
-  multi.nprocs = 1024;
+  harness::Scenario multi = harness::Scenario::multi(4, 1024);
   multi.ior.hints.driver = mpiio::Driver::ad_lustre;
   multi.ior.hints.striping_unit = 128_MiB;
   harness::RunPlan plan;

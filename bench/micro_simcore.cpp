@@ -130,10 +130,7 @@ BENCHMARK(BM_FrameChurn);
 // iteration is seconds of work, so the perf job runs exactly one per
 // policy.
 void BM_Fig3FourJobs(benchmark::State& state, sim::EventQueuePolicy policy) {
-  harness::Scenario s;
-  s.workload = harness::Workload::multi;
-  s.jobs = 4;
-  s.nprocs = 1024;
+  harness::Scenario s = harness::Scenario::multi(4, 1024);
   s.ior.hints.driver = mpiio::Driver::ad_lustre;
   s.ior.hints.striping_factor = 160;
   s.ior.hints.striping_unit = 128_MiB;

@@ -38,10 +38,7 @@ int main() {
 
   // Validation beyond the paper: simulate 3 contending VPIC-shaped jobs on
   // the Stampede-like platform and compare the measured census with Eq. 2/4.
-  harness::Scenario spec;
-  spec.workload = harness::Workload::multi;
-  spec.jobs = 3;
-  spec.nprocs = 256;
+  harness::Scenario spec = harness::Scenario::multi(3, 256);
   spec.platform = hw::stampede_fs();
   spec.ior.hints.driver = mpiio::Driver::ad_lustre;
   spec.ior.hints.striping_factor = 128;

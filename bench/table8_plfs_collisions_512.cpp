@@ -17,10 +17,8 @@ int main() {
   const unsigned reps = bench::repetitions(5);
   const int procs = 512;
 
-  harness::Scenario spec;
-  spec.workload = harness::Workload::plfs;
+  harness::Scenario spec = harness::Scenario::plfs_ior();
   spec.nprocs = procs;
-  spec.ior.hints.driver = mpiio::Driver::ad_plfs;
   harness::RunPlan plan;
   plan.repetitions(reps).base_seed(0x7AB8);
   const auto set = harness::ParallelRunner(bench::threads()).run(spec, plan);

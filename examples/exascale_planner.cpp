@@ -56,10 +56,7 @@ int main() {
   std::printf("Validation: 4 contending 256-proc jobs, R=64, measured per-job "
               "bandwidth:\n");
   for (unsigned osts : {480u, 1920u}) {
-    harness::Scenario spec;
-    spec.workload = harness::Workload::multi;
-    spec.jobs = 4;
-    spec.nprocs = 256;
+    harness::Scenario spec = harness::Scenario::multi(4, 256);
     spec.ior.hints.driver = mpiio::Driver::ad_lustre;
     spec.ior.hints.striping_factor = 64;
     spec.ior.hints.striping_unit = 128_MiB;

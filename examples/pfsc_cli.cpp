@@ -8,6 +8,8 @@
 //   pfsc_cli metrics --dtotal 480 --stripes 160 --jobs 10
 //   pfsc_cli advise --dtotal 480 --jobs 4 --budget 1.25
 //   pfsc_cli health --jobs 4 --stripes 64    (run jobs, then report)
+//   pfsc_cli replay --replay data/fig3_quartet.joblog --report report.json
+//   pfsc_cli fleet  --fleet 200 --fleet_mix ior:4,checkpoint:2 --fleet_seed 7
 //
 // The flag surface is the Scenario/RunPlan field set itself (see
 // harness::cli::scenario_flags): each flag is named after the field it
@@ -15,12 +17,15 @@
 // strictly — garbage input is an error, never a silent zero. --threads
 // runs repetitions across a worker pool without changing any result.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/fs_report.hpp"
 #include "core/metrics.hpp"
 #include "harness/cli.hpp"
 #include "harness/runner.hpp"
+#include "replay/analytics.hpp"
+#include "replay/replay_cli.hpp"
 #include "support/table.hpp"
 #include "trace/export.hpp"
 
@@ -30,7 +35,8 @@ namespace {
 
 int usage(const harness::cli::FlagTable& table) {
   std::fprintf(stderr,
-               "usage: pfsc_cli <ior|multi|probe|plfs|metrics|advise|health> "
+               "usage: pfsc_cli "
+               "<ior|multi|probe|plfs|metrics|advise|health|replay|fleet> "
                "[options]\n%s",
                table.usage().c_str());
   return 2;
@@ -156,6 +162,36 @@ int run_health_mode(const harness::Scenario& scenario,
   return 0;
 }
 
+/// replay / fleet modes: run the job list once, analyse it, print the
+/// ranked per-application table, optionally write JSON (--report) and the
+/// canonical joblog (--emit_log, handy for turning a fleet into a fixture).
+int run_fleet_mode(const harness::Scenario& scenario,
+                   const harness::RunPlan& plan, unsigned threads,
+                   const std::string& report_path,
+                   const std::string& emit_path) {
+  if (!emit_path.empty()) {
+    std::ofstream out(emit_path, std::ios::binary | std::ios::trunc);
+    PFSC_REQUIRE(out.good(), "cannot open --emit_log path " + emit_path);
+    out << replay::emit_joblog(replay::from_scenario(scenario));
+    PFSC_REQUIRE(out.good(), "failed writing " + emit_path);
+    std::printf("joblog written to %s\n", emit_path.c_str());
+  }
+  const auto set = harness::ParallelRunner(threads).run(scenario, plan);
+  const auto& obs = set.point(0).reps.front();
+  const replay::FleetReport report =
+      replay::analyze_fleet(obs, scenario.platform);
+  std::fputs(report.format_table().c_str(), stdout);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
+    PFSC_REQUIRE(out.good(), "cannot open --report path " + report_path);
+    out << report.to_json() << "\n";
+    PFSC_REQUIRE(out.good(), "failed writing " + report_path);
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  print_trace(scenario, obs);
+  return 0;
+}
+
 int run_advise_mode(const harness::Scenario& scenario, unsigned dtotal,
                     double budget) {
   const auto jobs = static_cast<unsigned>(scenario.jobs);
@@ -183,10 +219,19 @@ int main(int argc, char** argv) {
   unsigned dtotal = 480;
   double budget = 1.25;
 
+  replay::ReplayOptions ropts;
+  std::string report_path;
+  std::string emit_path;
+
   harness::cli::FlagTable table =
       harness::cli::scenario_flags(scenario, plan, threads);
   table.bind("--dtotal", dtotal, "total OSTs for the analytic modes");
   table.bind("--budget", budget, "load budget for advise mode");
+  replay::add_replay_flags(table, ropts);
+  table.bind("--report", report_path,
+             "write the fleet analytics report as JSON to this path");
+  table.bind("--emit_log", emit_path,
+             "write the scenario's canonical joblog to this path");
 
   if (argc < 2) return usage(table);
   const std::string mode = argv[1];
@@ -197,6 +242,8 @@ int main(int argc, char** argv) {
     scenario.ior.hints.driver = mpiio::Driver::ad_plfs;
   } else if (mode == "probe") {
     scenario.workload = harness::Workload::probe;
+  } else if (mode == "replay" || mode == "fleet") {
+    // Job specs carry their own layouts; no tuned-baseline override.
   } else {
     if (mode == "multi") scenario.workload = harness::Workload::multi;
     // The tuned layout of Section IV is the CLI's baseline.
@@ -207,6 +254,15 @@ int main(int argc, char** argv) {
 
   try {
     table.parse(argc, argv, 2);
+    if (mode == "replay" || mode == "fleet") {
+      if (mode == "replay" && ropts.replay_log.empty()) {
+        throw UsageError("replay mode needs --replay <log>");
+      }
+      if (mode == "fleet") ropts.fleet_requested = true;
+      ropts.apply(scenario);
+      return run_fleet_mode(scenario, plan, threads, report_path, emit_path);
+    }
+    ropts.apply(scenario);  // --replay/--fleet also compose with other modes
     if (mode == "ior" || mode == "plfs") {
       return run_ior_mode(scenario, plan, threads);
     }

@@ -19,9 +19,9 @@ using namespace pfsc;
 namespace {
 
 ior::Result run_driver(int nprocs, mpiio::Driver driver, bool read_back) {
-  harness::Scenario spec;
-  spec.workload = driver == mpiio::Driver::ad_plfs ? harness::Workload::plfs
-                                                   : harness::Workload::ior;
+  harness::Scenario spec = driver == mpiio::Driver::ad_plfs
+                               ? harness::Scenario::plfs_ior()
+                               : harness::Scenario::single_ior();
   spec.nprocs = nprocs;
   spec.ior.read_file = read_back;
   spec.ior.hints.driver = driver;

@@ -1,7 +1,9 @@
 #include "harness/scenario.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "plfs/plfs.hpp"
@@ -9,18 +11,160 @@
 
 namespace pfsc::harness {
 
+const char* job_kind_name(JobKind k) {
+  switch (k) {
+    case JobKind::ior: return "ior";
+    case JobKind::plfs: return "plfs";
+    case JobKind::probe_writer: return "probe";
+    case JobKind::noise: return "noise";
+  }
+  return "?";
+}
+
+const std::string& JobSpec::display_app() const {
+  static const std::string names[] = {"ior", "plfs", "probe", "noise"};
+  if (!app.empty()) return app;
+  return names[static_cast<std::size_t>(kind)];
+}
+
+void JobSpec::validate(std::size_t index) const {
+  const std::string where = "JobSpec[" + std::to_string(index) + "]: ";
+  PFSC_REQUIRE(arrival >= 0.0, where + "arrival must be non-negative");
+  switch (kind) {
+    case JobKind::ior:
+      PFSC_REQUIRE(nprocs >= 1, where + "nprocs must be positive");
+      PFSC_REQUIRE(ior.hints.driver != mpiio::Driver::ad_plfs,
+                   where + "use kind=plfs for ad_plfs");
+      break;
+    case JobKind::plfs:
+      PFSC_REQUIRE(nprocs >= 1, where + "nprocs must be positive");
+      PFSC_REQUIRE(ior.hints.driver == mpiio::Driver::ad_plfs,
+                   where + "kind=plfs needs hints.driver == ad_plfs");
+      break;
+    case JobKind::probe_writer:
+      PFSC_REQUIRE(nprocs >= 1, where + "nprocs must be positive");
+      PFSC_REQUIRE(bytes > 0, where + "bytes must be positive");
+      PFSC_REQUIRE(transfer_size > 0, where + "transfer_size must be positive");
+      break;
+    case JobKind::noise:
+      PFSC_REQUIRE(bytes > 0, where + "bytes must be positive");
+      PFSC_REQUIRE(transfer_size > 0, where + "transfer_size must be positive");
+      break;
+  }
+}
+
 const char* workload_name(Workload w) {
   switch (w) {
     case Workload::ior: return "ior";
     case Workload::plfs: return "plfs";
     case Workload::multi: return "multi";
     case Workload::probe: return "probe";
+    case Workload::jobs: return "jobs";
   }
   return "?";
 }
 
+// ---------------------------------------------------------------------------
+// Factories + desugaring
+// ---------------------------------------------------------------------------
+
+Scenario Scenario::single_ior(ior::Config cfg) {
+  Scenario s;
+  s.workload = Workload::ior;
+  s.ior = std::move(cfg);
+  return s;
+}
+
+Scenario Scenario::plfs_ior(ior::Config cfg) {
+  Scenario s;
+  s.workload = Workload::plfs;
+  s.ior = std::move(cfg);
+  s.ior.hints.driver = mpiio::Driver::ad_plfs;
+  return s;
+}
+
+Scenario Scenario::multi(int jobs, int nprocs, ior::Config cfg) {
+  Scenario s;
+  s.workload = Workload::multi;
+  s.jobs = jobs;
+  s.nprocs = nprocs;
+  s.ior = std::move(cfg);
+  return s;
+}
+
+Scenario Scenario::probe(std::uint32_t writers, Bytes bytes_per_writer) {
+  Scenario s;
+  s.workload = Workload::probe;
+  s.writers = writers;
+  s.bytes_per_writer = bytes_per_writer;
+  return s;
+}
+
+Scenario Scenario::from_jobs(std::vector<JobSpec> list) {
+  Scenario s;
+  s.workload = Workload::jobs;
+  s.job_list = std::move(list);
+  return s;
+}
+
+std::vector<JobSpec> Scenario::jobs_desugared() const {
+  std::vector<JobSpec> out;
+  if (!job_list.empty()) {
+    out = job_list;
+  } else {
+    switch (workload) {
+      case Workload::ior:
+      case Workload::plfs: {
+        JobSpec j;
+        j.kind = workload == Workload::plfs ? JobKind::plfs : JobKind::ior;
+        j.job_id = ior.job_id;
+        j.nprocs = nprocs;
+        j.ior = ior;
+        out.push_back(std::move(j));
+        break;
+      }
+      case Workload::multi:
+        for (int k = 0; k < jobs; ++k) {
+          JobSpec j;
+          j.kind = JobKind::ior;
+          j.job_id = static_cast<lustre::sched::JobId>(k);
+          j.nprocs = nprocs;
+          j.ior = ior;
+          j.ior.test_file += "." + std::to_string(k);
+          j.ior.job_id = j.job_id;
+          out.push_back(std::move(j));
+        }
+        break;
+      case Workload::probe:
+        for (std::uint32_t w = 0; w < writers; ++w) {
+          JobSpec j;
+          j.kind = JobKind::probe_writer;
+          j.job_id = static_cast<lustre::sched::JobId>(w);
+          j.nprocs = 1;
+          j.bytes = bytes_per_writer;
+          out.push_back(std::move(j));
+        }
+        break;
+      case Workload::jobs:
+        break;  // empty job_list: validate() rejects this shape
+    }
+  }
+  // Deprecated NoiseSpec alias: background writers become ordinary noise
+  // jobs appended after the rank-carrying jobs, ids kNoiseJobBase + i.
+  for (unsigned w = 0; w < noise.writers; ++w) {
+    JobSpec j;
+    j.kind = JobKind::noise;
+    j.job_id = lustre::sched::kNoiseJobBase + w;
+    j.bytes = noise.bytes_per_writer;
+    j.transfer_size = noise.transfer_size;
+    j.stripes = noise.stripes;
+    j.stripe_size = noise.stripe_size;
+    out.push_back(std::move(j));
+  }
+  return out;
+}
+
 void Scenario::validate() const {
-  PFSC_REQUIRE(nprocs >= 1, "Scenario: nprocs must be positive");
   PFSC_REQUIRE(procs_per_node >= 1, "Scenario: procs_per_node must be positive");
   PFSC_REQUIRE(telemetry_interval >= 0.0,
                "Scenario: telemetry_interval must be non-negative");
@@ -28,6 +172,26 @@ void Scenario::validate() const {
                "Scenario: trace.interval must be non-negative");
   PFSC_REQUIRE(trace.out.empty() || trace.mode != trace::TraceMode::off,
                "Scenario: trace.out requires trace.mode != off");
+  if (!job_list.empty()) {
+    std::set<lustre::sched::JobId> ids;
+    bool any_ranks = false;
+    for (std::size_t i = 0; i < job_list.size(); ++i) {
+      const JobSpec& j = job_list[i];
+      j.validate(i);
+      PFSC_REQUIRE(ids.insert(j.job_id).second,
+                   "Scenario: duplicate JobId " + std::to_string(j.job_id) +
+                       " in job list");
+      any_ranks = any_ranks || j.kind != JobKind::noise;
+    }
+    for (unsigned w = 0; w < noise.writers; ++w) {
+      PFSC_REQUIRE(ids.insert(lustre::sched::kNoiseJobBase + w).second,
+                   "Scenario: noise JobId collides with an explicit job");
+    }
+    PFSC_REQUIRE(any_ranks,
+                 "Scenario: job list needs at least one non-noise job");
+    return;
+  }
+  PFSC_REQUIRE(nprocs >= 1, "Scenario: nprocs must be positive");
   switch (workload) {
     case Workload::ior:
       break;
@@ -47,6 +211,8 @@ void Scenario::validate() const {
       PFSC_REQUIRE(trace.interval == 0.0,
                    "Scenario: the probe workload does not support a trace sampler");
       break;
+    case Workload::jobs:
+      throw UsageError("Scenario: Workload::jobs needs a non-empty job_list");
   }
 }
 
@@ -54,7 +220,9 @@ namespace {
 
 sim::Task noise_writer(lustre::Client& client, std::string path,
                        lustre::StripeSettings settings, Bytes total,
-                       Bytes transfer) {
+                       Bytes transfer, Seconds arrival) {
+  // Arrival 0 adds no event: desugared legacy noise stays bit-for-bit.
+  if (arrival > 0.0) co_await client.fs().engine().delay(arrival);
   auto file = co_await client.create(std::move(path), settings);
   if (!file.ok()) co_return;
   for (Bytes off = 0; off < total; off += transfer) {
@@ -65,8 +233,30 @@ sim::Task noise_writer(lustre::Client& client, std::string path,
   (void)co_await client.flush();
 }
 
+/// Spawn one JobKind::noise entry (an independent client streaming a
+/// default-layout file). Naming matches the historical spawn_noise exactly:
+/// writer i (= job_id - kNoiseJobBase) is client "noise<i>" writing
+/// "/noise.<seed%1000>.<i>".
+void spawn_noise_job(lustre::FileSystem& fs,
+                     std::vector<std::unique_ptr<lustre::Client>>& clients,
+                     const JobSpec& job, std::uint64_t seed) {
+  const std::uint32_t i = job.job_id >= lustre::sched::kNoiseJobBase
+                              ? job.job_id - lustre::sched::kNoiseJobBase
+                              : job.job_id;
+  lustre::StripeSettings settings;
+  settings.stripe_count = job.stripes;
+  settings.stripe_size = job.stripe_size;
+  clients.push_back(
+      std::make_unique<lustre::Client>(fs, "noise" + std::to_string(i)));
+  clients.back()->set_job(job.job_id);
+  fs.engine().spawn(noise_writer(
+      *clients.back(),
+      "/noise." + std::to_string(seed % 1000) + "." + std::to_string(i),
+      settings, job.bytes, job.transfer_size, job.arrival));
+}
+
 /// Shared run state every workload branch builds: fresh engine, seeded file
-/// system, runtime, optional background noise, optional telemetry sampler,
+/// system, runtime, background noise jobs, optional telemetry sampler,
 /// optional event recorder (+ trace sampler mirroring into it).
 struct Rig {
   sim::Engine eng;
@@ -77,7 +267,8 @@ struct Rig {
   std::unique_ptr<trace::Sampler> sampler;
   std::unique_ptr<trace::Sampler> trace_sampler;
 
-  Rig(const Scenario& s, int nprocs, std::uint64_t seed)
+  Rig(const Scenario& s, int nprocs, std::uint64_t seed,
+      const std::vector<const JobSpec*>& noise_jobs)
       : eng(s.platform.event_queue),
         fs(eng, s.platform, seed),
         rt(fs, nprocs, s.procs_per_node) {
@@ -85,8 +276,8 @@ struct Rig {
       recorder = std::make_unique<trace::Recorder>(s.trace);
       eng.set_recorder(recorder.get());
     }
-    if (s.noise.writers > 0) {
-      spawn_noise(fs, noise_clients, s.noise, seed);
+    for (const JobSpec* job : noise_jobs) {
+      spawn_noise_job(fs, noise_clients, *job, seed);
     }
     if (s.telemetry_interval > 0.0) {
       sampler = std::make_unique<trace::Sampler>(eng, s.telemetry_interval);
@@ -149,87 +340,289 @@ double headline_metric(const ior::Config& cfg, const ior::Result& res) {
   return cfg.write_file ? res.write_mbps : res.read_mbps;
 }
 
-Observation run_ior_like(const Scenario& s, std::uint64_t seed, bool plfs_census) {
-  Rig rig(s, s.nprocs, seed);
-  std::unique_ptr<plfs::Plfs> plfs;
-  if (s.ior.hints.driver == mpiio::Driver::ad_plfs) {
-    plfs = std::make_unique<plfs::Plfs>(rig.fs);
-  }
-  ior::IorJob job(rig.rt.world(), rig.fs, s.ior, plfs.get());
-  rig.start_sampler([&job] { return job.finished(); });
-  rig.rt.run_to_completion([&](int rank) -> sim::Task {
-    return job.rank_main(rank, rig.rt.client(rank));
-  });
+/// The desugared job list, partitioned into rank-carrying jobs (ior, plfs,
+/// probe writers — these occupy MPI world ranks in contiguous blocks, in
+/// list order) and background noise jobs (spawned outside the runtime).
+struct JobPlan {
+  std::vector<JobSpec> all;                // spawn/report order
+  std::vector<const JobSpec*> rank_jobs;   // pointers into `all`
+  std::vector<const JobSpec*> noise_jobs;  // pointers into `all`
+  std::vector<int> first_rank;             // per rank job: world-rank base
+  int total_ranks = 0;
+  bool synchronized = true;  // every rank job arrives at t = 0
 
-  Observation obs;
-  obs.ior = job.result();
-  obs.metric = headline_metric(s.ior, obs.ior);
-  if (plfs_census) {
-    const auto data_files = plfs->backend_data_files(s.ior.test_file);
-    obs.contention = core::observe(rig.fs.ost_occupancy(data_files));
+  explicit JobPlan(std::vector<JobSpec> jobs) : all(std::move(jobs)) {
+    for (const JobSpec& j : all) {
+      if (j.kind == JobKind::noise) {
+        noise_jobs.push_back(&j);
+        continue;
+      }
+      rank_jobs.push_back(&j);
+      first_rank.push_back(total_ranks);
+      total_ranks += j.nprocs;
+      synchronized = synchronized && j.arrival == 0.0;
+    }
   }
-  rig.export_bandwidth(obs);
-  rig.finish_trace(obs, s, seed);
-  return obs;
-}
 
-/// Per-colour slot: the first rank of each sub-communicator constructs the
-/// job; everyone else waits on `ready`.
-struct JobSlot {
-  std::unique_ptr<ior::IorJob> job;
-  std::unique_ptr<sim::Event> ready;
+  /// Job index owning `world_rank` (blocks are contiguous and in order).
+  std::size_t color_of(int world_rank) const {
+    auto it = std::upper_bound(first_rank.begin(), first_rank.end(), world_rank);
+    return static_cast<std::size_t>(it - first_rank.begin()) - 1;
+  }
 };
 
-sim::Task multi_rank_main(mpi::Runtime& rt, lustre::FileSystem& fs,
-                          const Scenario& s, std::vector<JobSlot>& slots,
-                          int world_rank) {
-  mpi::Communicator& world = rt.world();
-  const int color = world_rank / s.nprocs;
+/// Per-job run state for the fleet executor.
+struct JobSlot {
+  const JobSpec* spec = nullptr;
+  int base = 0;  // first world rank
+  std::unique_ptr<ior::IorJob> job;
+  std::unique_ptr<sim::Event> ready;          // synchronized mode
+  std::unique_ptr<mpi::Communicator> comm;    // free-running mode
+  // probe_writer outcomes, one slot per writer rank.
+  std::vector<double> writer_mbps;
+  std::vector<Seconds> writer_time;
+  int writers_done = 0;
 
-  // Synchronise all jobs' starts, then carve the world into one
-  // communicator per job (the paper's "four identical IOR executions each
-  // running simultaneously").
+  bool finished() const {
+    if (spec->kind == JobKind::probe_writer) {
+      return writers_done == spec->nprocs;
+    }
+    return job != nullptr && job->finished();
+  }
+};
+
+/// Fig. 2-style writer body, generalised to run inside any fleet: stream
+/// `spec.bytes` to one file pinned on the target OST via stripe_offset.
+sim::Co<void> probe_writer_body(Rig& rig, JobSlot& slot, int local_rank,
+                                lustre::Client& client, std::uint64_t seed) {
+  const JobSpec& spec = *slot.spec;
+  sim::Engine& eng = rig.eng;
+  client.set_job(spec.job_id);
+
+  const auto target = static_cast<lustre::OstIndex>(
+      spec.target_ost >= 0
+          ? static_cast<std::uint32_t>(spec.target_ost) %
+                rig.fs.params().ost_count
+          : seed % rig.fs.params().ost_count);
+  const std::string dir = "/probe";
+  if (!rig.fs.exists(dir)) {
+    auto made = co_await client.mkdir(dir);
+    PFSC_ASSERT(made.ok() || made.err == lustre::Errno::eexist);
+  }
+
+  lustre::StripeSettings settings;
+  settings.stripe_count = 1;
+  settings.stripe_size = 1_MiB;
+  settings.stripe_offset = static_cast<std::int32_t>(target);
+  const std::string path = dir + "/j" + std::to_string(spec.job_id) + "." +
+                           std::to_string(local_rank);
+  auto created = co_await client.create(path, settings);
+  PFSC_ASSERT(created.ok());
+
+  const Seconds t0 = eng.now();
+  Bytes done = 0;
+  while (done < spec.bytes) {
+    const Bytes chunk = std::min<Bytes>(spec.transfer_size, spec.bytes - done);
+    const lustre::Errno e = co_await client.write_buffered(created.value, done, chunk);
+    PFSC_ASSERT(e == lustre::Errno::ok);
+    done += chunk;
+  }
+  const lustre::Errno fe = co_await client.flush();
+  PFSC_ASSERT(fe == lustre::Errno::ok);
+  const Seconds elapsed = eng.now() - t0;
+  slot.writer_time[static_cast<std::size_t>(local_rank)] = elapsed;
+  slot.writer_mbps[static_cast<std::size_t>(local_rank)] =
+      bandwidth_mbps(spec.bytes, elapsed);
+  ++slot.writers_done;
+}
+
+/// Create every missing parent directory of the job files, then release
+/// the ranks. Only spawned when some job writes outside "/" (legacy
+/// scenarios never do, so their event sequences carry no extra events).
+sim::Task make_dirs(lustre::Client& client, std::vector<std::string> dirs,
+                    sim::Event& done) {
+  for (const std::string& dir : dirs) {
+    if (!client.fs().exists(dir)) {
+      const auto made = co_await client.mkdir(dir);
+      PFSC_ASSERT(made.ok() || made.err == lustre::Errno::eexist);
+    }
+  }
+  done.trigger();
+}
+
+/// Proper ancestor directories of `path`, shallowest first ("/a/b/f" ->
+/// ["/a", "/a/b"]).
+void collect_parents(const std::string& path, std::vector<std::string>& out) {
+  for (std::size_t pos = path.find('/', 1); pos != std::string::npos;
+       pos = path.find('/', pos + 1)) {
+    if (pos > 1) out.push_back(path.substr(0, pos));
+  }
+}
+
+/// Synchronised-start rank main: the paper's simultaneous-submission
+/// design. All world ranks barrier, then carve the world into one
+/// sub-communicator per job — the historical multi workload's exact event
+/// sequence (pinned bit-for-bit by the golden tests), generalised to
+/// heterogeneous job lists.
+sim::Task fleet_rank_main_sync(Rig& rig, const JobPlan& plan,
+                               std::vector<JobSlot>& slots, int world_rank,
+                               plfs::Plfs* plfs, std::uint64_t seed,
+                               sim::Event* setup_done) {
+  mpi::Communicator& world = rig.rt.world();
+  const auto color = static_cast<int>(plan.color_of(world_rank));
+
+  if (setup_done != nullptr && !setup_done->fired()) {
+    co_await setup_done->wait();
+  }
   co_await world.barrier(world_rank);
   const auto sr = co_await world.split(world_rank, color, world_rank);
   JobSlot& slot = slots[static_cast<std::size_t>(color)];
+  if (slot.spec->kind == JobKind::probe_writer) {
+    co_await probe_writer_body(rig, slot, sr.rank, rig.rt.client(world_rank),
+                               seed);
+    co_return;
+  }
   if (sr.rank == 0) {
-    ior::Config cfg = s.ior;
-    cfg.test_file += "." + std::to_string(color);
-    cfg.job_id = static_cast<lustre::sched::JobId>(color);
-    slot.job = std::make_unique<ior::IorJob>(*sr.comm, fs, cfg, nullptr);
+    slot.job = std::make_unique<ior::IorJob>(
+        *sr.comm, rig.fs, slot.spec->ior,
+        slot.spec->kind == JobKind::plfs ? plfs : nullptr);
     slot.ready->trigger();
   } else if (!slot.ready->fired()) {
     co_await slot.ready->wait();
   }
-  co_await slot.job->run_rank(sr.rank, rt.client(world_rank));
+  co_await slot.job->run_rank(sr.rank, rig.rt.client(world_rank));
 }
 
-Observation run_multi(const Scenario& s, std::uint64_t seed) {
-  Rig rig(s, s.jobs * s.nprocs, seed);
-  std::vector<JobSlot> slots(static_cast<std::size_t>(s.jobs));
-  for (auto& slot : slots) slot.ready = std::make_unique<sim::Event>(rig.eng);
+/// Free-running rank main: any positive arrival disables the global
+/// barrier; each job sleeps until its own offset and runs on a pre-built
+/// per-job communicator (jobs arriving later genuinely find the system in
+/// whatever state the earlier ones left it).
+sim::Task fleet_rank_main_staggered(Rig& rig, std::vector<JobSlot>& slots,
+                                    std::size_t color, int local_rank,
+                                    int world_rank, std::uint64_t seed,
+                                    sim::Event* setup_done) {
+  JobSlot& slot = slots[color];
+  if (setup_done != nullptr && !setup_done->fired()) {
+    co_await setup_done->wait();
+  }
+  if (slot.spec->arrival > 0.0) {
+    co_await rig.eng.delay(slot.spec->arrival);
+  }
+  if (slot.spec->kind == JobKind::probe_writer) {
+    co_await probe_writer_body(rig, slot, local_rank,
+                               rig.rt.client(world_rank), seed);
+    co_return;
+  }
+  co_await slot.job->run_rank(local_rank, rig.rt.client(world_rank));
+}
+
+/// Fold one probe job's per-writer outcomes into an ior::Result so fleet
+/// aggregation is uniform: write_mbps is the job's aggregate bandwidth.
+ior::Result probe_slot_result(const JobSlot& slot) {
+  ior::Result r;
+  r.total_bytes = slot.spec->bytes * static_cast<Bytes>(slot.spec->nprocs);
+  for (std::size_t w = 0; w < slot.writer_mbps.size(); ++w) {
+    r.write_mbps += slot.writer_mbps[w];
+    r.write_time = std::max(r.write_time, slot.writer_time[w]);
+  }
+  r.verified = true;
+  return r;
+}
+
+/// The general executor: any job list with more than one rank-carrying job
+/// (or any staggered arrival / in-fleet probe writers).
+Observation run_fleet(const Scenario& s, JobPlan plan, std::uint64_t seed) {
+  Rig rig(s, plan.total_ranks, seed, plan.noise_jobs);
+  std::unique_ptr<plfs::Plfs> plfs;
+  for (const JobSpec* spec : plan.rank_jobs) {
+    if (spec->kind == JobKind::plfs && !plfs) {
+      plfs = std::make_unique<plfs::Plfs>(rig.fs);
+    }
+  }
+
+  std::vector<JobSlot> slots(plan.rank_jobs.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].spec = plan.rank_jobs[i];
+    slots[i].base = plan.first_rank[i];
+    if (slots[i].spec->kind == JobKind::probe_writer) {
+      slots[i].writer_mbps.assign(static_cast<std::size_t>(slots[i].spec->nprocs), 0.0);
+      slots[i].writer_time.assign(static_cast<std::size_t>(slots[i].spec->nprocs), 0.0);
+    } else if (plan.synchronized) {
+      slots[i].ready = std::make_unique<sim::Event>(rig.eng);
+    } else {
+      // Free-running jobs never comm_split, so each gets its own world.
+      slots[i].comm = std::make_unique<mpi::Communicator>(
+          rig.eng, slots[i].spec->nprocs);
+      slots[i].job = std::make_unique<ior::IorJob>(
+          *slots[i].comm, rig.fs, slots[i].spec->ior,
+          slots[i].spec->kind == JobKind::plfs ? plfs.get() : nullptr);
+    }
+  }
+
+  // Parent directories the job files need (outside "/": fleets often use
+  // "/fleet/<app>.<id>"). Created by a setup task the ranks wait on; empty
+  // for every legacy scenario, which therefore sees no extra events.
+  std::vector<std::string> dirs;
+  for (const JobSpec* spec : plan.rank_jobs) {
+    if (spec->kind != JobKind::probe_writer) {
+      collect_parents(spec->ior.test_file, dirs);
+    }
+  }
+  std::sort(dirs.begin(), dirs.end());
+  dirs.erase(std::unique(dirs.begin(), dirs.end()), dirs.end());
+  std::unique_ptr<lustre::Client> setup_client;
+  std::unique_ptr<sim::Event> setup_done;
+  if (!dirs.empty()) {
+    setup_client = std::make_unique<lustre::Client>(rig.fs, "setup");
+    setup_done = std::make_unique<sim::Event>(rig.eng);
+    rig.eng.spawn(make_dirs(*setup_client, std::move(dirs), *setup_done));
+  }
 
   rig.start_sampler([&slots] {
-    for (const auto& slot : slots) {
-      if (!slot.job || !slot.job->finished()) return false;
-    }
-    return true;
+    return std::all_of(slots.begin(), slots.end(),
+                       [](const JobSlot& slot) { return slot.finished(); });
   });
-  rig.rt.run_to_completion([&](int world_rank) -> sim::Task {
-    return multi_rank_main(rig.rt, rig.fs, s, slots, world_rank);
-  });
+  if (plan.synchronized) {
+    rig.rt.run_to_completion([&](int world_rank) -> sim::Task {
+      return fleet_rank_main_sync(rig, plan, slots, world_rank, plfs.get(),
+                                  seed, setup_done.get());
+    });
+  } else {
+    rig.rt.run_to_completion([&](int world_rank) -> sim::Task {
+      const std::size_t color = plan.color_of(world_rank);
+      return fleet_rank_main_staggered(rig, slots, color,
+                                       world_rank - slots[color].base,
+                                       world_rank, seed, setup_done.get());
+    });
+  }
 
   Observation obs;
   std::vector<lustre::InodeId> files;
   double mean = 0.0;
-  for (auto& slot : slots) {
-    PFSC_ASSERT(slot.job && slot.job->finished());
+  for (JobSlot& slot : slots) {
+    PFSC_ASSERT(slot.finished());
+    if (slot.spec->kind == JobKind::probe_writer) {
+      obs.per_job.push_back(probe_slot_result(slot));
+      mean += obs.per_job.back().write_mbps;
+      obs.total_mbps += obs.per_job.back().write_mbps;
+      continue;
+    }
     obs.per_job.push_back(slot.job->result());
-    mean += slot.job->result().write_mbps;
-    obs.total_mbps += slot.job->result().write_mbps;
-    files.push_back(slot.job->file().context().ino);
+    const double headline = headline_metric(slot.spec->ior, obs.per_job.back());
+    mean += headline;
+    obs.total_mbps += headline;
+    if (slot.spec->kind == JobKind::plfs) {
+      for (const lustre::InodeId ino :
+           plfs->backend_data_files(slot.spec->ior.test_file)) {
+        files.push_back(ino);
+      }
+    } else {
+      for (const lustre::InodeId ino : slot.job->file_inos()) {
+        files.push_back(ino);
+      }
+    }
   }
-  mean /= static_cast<double>(s.jobs);
+  mean /= static_cast<double>(slots.size());
   obs.ior = obs.per_job.front();
   obs.ior.write_mbps = mean;
   obs.metric = mean;
@@ -239,21 +632,90 @@ Observation run_multi(const Scenario& s, std::uint64_t seed) {
   return obs;
 }
 
-Observation run_probe(const Scenario& s, std::uint64_t seed) {
-  Rig rig(s, static_cast<int>(s.writers), seed);
+/// Single ior/plfs job arriving at t = 0: the historical single-job data
+/// path, with no barrier/split latency (pinned by the Fig. 1 goldens).
+Observation run_single(const Scenario& s, const JobPlan& plan,
+                       std::uint64_t seed) {
+  const JobSpec& spec = *plan.rank_jobs.front();
+  Rig rig(s, spec.nprocs, seed, plan.noise_jobs);
+  std::unique_ptr<plfs::Plfs> plfs;
+  if (spec.ior.hints.driver == mpiio::Driver::ad_plfs) {
+    plfs = std::make_unique<plfs::Plfs>(rig.fs);
+  }
+  ior::IorJob job(rig.rt.world(), rig.fs, spec.ior, plfs.get());
+  rig.start_sampler([&job] { return job.finished(); });
+  rig.rt.run_to_completion([&](int rank) -> sim::Task {
+    return job.rank_main(rank, rig.rt.client(rank));
+  });
+
+  Observation obs;
+  obs.ior = job.result();
+  obs.metric = headline_metric(spec.ior, obs.ior);
+  obs.per_job.push_back(obs.ior);
+  obs.total_mbps = obs.metric;
+  if (spec.kind == JobKind::plfs) {
+    const auto data_files = plfs->backend_data_files(spec.ior.test_file);
+    obs.contention = core::observe(rig.fs.ost_occupancy(data_files));
+  }
+  rig.export_bandwidth(obs);
+  rig.finish_trace(obs, s, seed);
+  return obs;
+}
+
+/// All-probe job list with a synchronised start: the historical Fig. 2
+/// probe benchmark (shared directory, world barrier, one target OST).
+Observation run_probe(const Scenario& s, const JobPlan& plan,
+                      std::uint64_t seed) {
+  Rig rig(s, plan.total_ranks, seed, plan.noise_jobs);
+  const JobSpec& first = *plan.rank_jobs.front();
   ior::ProbeConfig cfg;
-  cfg.num_writers = s.writers;
-  cfg.bytes_per_writer = s.bytes_per_writer;
+  cfg.num_writers = static_cast<std::uint32_t>(plan.total_ranks);
+  cfg.bytes_per_writer = first.bytes;
+  cfg.transfer_size = first.transfer_size;
   // Any OST works (the paper pins one via stripe_offset); randomising the
   // pick per repetition lets background noise land on it sometimes, which
   // is where the single-writer variance of Figure 2's band comes from.
-  cfg.target_ost = static_cast<lustre::OstIndex>(seed % rig.fs.params().ost_count);
+  cfg.target_ost = static_cast<lustre::OstIndex>(
+      first.target_ost >= 0
+          ? static_cast<std::uint32_t>(first.target_ost) %
+                rig.fs.params().ost_count
+          : seed % rig.fs.params().ost_count);
 
   Observation obs;
   obs.probe = ior::run_probe(rig.rt, cfg);
   obs.metric = obs.probe.mean_mbps;
+  for (const double mbps : obs.probe.per_process_mbps) {
+    ior::Result r;
+    r.write_mbps = mbps;
+    r.total_bytes = cfg.bytes_per_writer;
+    r.write_time =
+        mbps > 0.0 ? static_cast<double>(cfg.bytes_per_writer) / (mbps * 1.0e6)
+                   : 0.0;
+    r.verified = true;
+    obs.per_job.push_back(r);
+    obs.total_mbps += mbps;
+  }
   rig.finish_trace(obs, s, seed);
   return obs;
+}
+
+/// True when the job list is the historical probe benchmark's shape: all
+/// probe writers, synchronised start, one writer per job with consecutive
+/// ids from 0, uniform payload, and one shared (or seed-derived) target.
+bool is_legacy_probe(const JobPlan& plan, const Scenario& s) {
+  if (plan.rank_jobs.empty() || !plan.synchronized) return false;
+  if (s.telemetry_interval > 0.0 || s.trace.interval > 0.0) return false;
+  const JobSpec& first = *plan.rank_jobs.front();
+  for (std::size_t i = 0; i < plan.rank_jobs.size(); ++i) {
+    const JobSpec& j = *plan.rank_jobs[i];
+    if (j.kind != JobKind::probe_writer || j.nprocs != 1) return false;
+    if (j.job_id != static_cast<lustre::sched::JobId>(i)) return false;
+    if (j.bytes != first.bytes || j.transfer_size != first.transfer_size ||
+        j.target_ost != first.target_ost) {
+      return false;
+    }
+  }
+  return true;
 }
 
 /// PFSC_TRACE / PFSC_TRACE_OUT / PFSC_TRACE_INTERVAL environment override,
@@ -272,7 +734,8 @@ void apply_trace_env(Scenario& s) {
     s.trace.out = out;
   }
   if (const char* interval = std::getenv("PFSC_TRACE_INTERVAL");
-      interval != nullptr && *interval != '\0' && s.workload != Workload::probe) {
+      interval != nullptr && *interval != '\0' &&
+      !(s.job_list.empty() && s.workload == Workload::probe)) {
     char* end = nullptr;
     s.trace.interval = std::strtod(interval, &end);
     PFSC_REQUIRE(end != interval && *end == '\0' && s.trace.interval >= 0.0,
@@ -285,17 +748,15 @@ void apply_trace_env(Scenario& s) {
 void spawn_noise(lustre::FileSystem& fs,
                  std::vector<std::unique_ptr<lustre::Client>>& clients,
                  const NoiseSpec& noise, std::uint64_t seed) {
-  lustre::StripeSettings settings;
-  settings.stripe_count = noise.stripes;
-  settings.stripe_size = noise.stripe_size;
   for (unsigned w = 0; w < noise.writers; ++w) {
-    clients.push_back(std::make_unique<lustre::Client>(
-        fs, "noise" + std::to_string(w)));
-    // Noise writers are per-writer jobs, distinct from real jobs' ids.
-    clients.back()->set_job(lustre::sched::kNoiseJobBase + w);
-    fs.engine().spawn(noise_writer(
-        *clients.back(), "/noise." + std::to_string(seed % 1000) + "." + std::to_string(w),
-        settings, noise.bytes_per_writer, noise.transfer_size));
+    JobSpec j;
+    j.kind = JobKind::noise;
+    j.job_id = lustre::sched::kNoiseJobBase + w;
+    j.bytes = noise.bytes_per_writer;
+    j.transfer_size = noise.transfer_size;
+    j.stripes = noise.stripes;
+    j.stripe_size = noise.stripe_size;
+    spawn_noise_job(fs, clients, j, seed);
   }
 }
 
@@ -304,23 +765,27 @@ Observation run_scenario(const Scenario& scenario, std::uint64_t seed) {
   apply_trace_env(effective);
   const Scenario& s = effective;
   s.validate();
+
+  JobPlan plan(s.jobs_desugared());
+  PFSC_REQUIRE(!plan.rank_jobs.empty(),
+               "Scenario: needs at least one non-noise job");
+
   Observation obs;
-  switch (s.workload) {
-    case Workload::ior:
-      obs = run_ior_like(s, seed, /*plfs_census=*/false);
-      break;
-    case Workload::plfs:
-      obs = run_ior_like(s, seed, /*plfs_census=*/true);
-      break;
-    case Workload::multi:
-      obs = run_multi(s, seed);
-      break;
-    case Workload::probe:
-      obs = run_probe(s, seed);
-      break;
+  const JobSpec& first = *plan.rank_jobs.front();
+  const bool single_at_root =
+      plan.rank_jobs.size() == 1 && plan.synchronized &&
+      first.kind != JobKind::probe_writer &&
+      first.ior.test_file.find('/', 1) == std::string::npos;
+  if (is_legacy_probe(plan, s)) {
+    obs = run_probe(s, plan, seed);
+  } else if (single_at_root) {
+    obs = run_single(s, plan, seed);
+  } else {
+    obs = run_fleet(s, std::move(plan), seed);
   }
-  obs.workload = scenario.workload;
+  obs.workload = scenario.job_list.empty() ? scenario.workload : Workload::jobs;
   obs.seed = seed;
+  if (obs.jobs.empty()) obs.jobs = s.jobs_desugared();
   return obs;
 }
 

@@ -1,13 +1,24 @@
 // Unified scenario description for the experiment harness.
 //
-// A Scenario says *what to run*: which workload shape (a single IOR job,
-// a PLFS-backed IOR job, N contending IOR jobs, or the single-OST probe),
-// on which platform, with what MPI-IO hints and how much background noise.
-// `run_scenario(scenario, seed)` builds a fresh engine + file system +
-// runtime from the seed, runs the workload to completion, and returns an
-// Observation. Fresh-state-per-run keeps repetitions independent, exactly
-// like resubmitting a batch job — and is what lets ParallelRunner execute
-// plan points on concurrent threads with bit-identical per-seed results.
+// A Scenario says *what to run*. Since PR 6 the primitive is the **job
+// list**: a Scenario is a vector of JobSpec — each an independent
+// application (an IOR job, a PLFS-backed IOR job, a single-OST probe
+// writer, or a background noise writer) with its own JobId, configuration
+// and arrival offset. `run_scenario(scenario, seed)` builds a fresh engine
+// + file system + runtime from the seed, runs every job to completion, and
+// returns an Observation. Fresh-state-per-run keeps repetitions
+// independent, exactly like resubmitting a batch job — and is what lets
+// ParallelRunner execute plan points on concurrent threads with
+// bit-identical per-seed results.
+//
+// The pre-PR-6 closed `Workload` enum survives as sugar: the enum plus the
+// single-job fields describe the four historical shapes, and `jobs()`
+// desugars them into the equivalent job list. The factory helpers
+// (`Scenario::single_ior`, `::plfs_ior`, `::multi`, `::probe`) construct
+// those shapes; `Scenario::from_jobs` builds an explicit job-list scenario
+// (what `replay::to_scenario` and the fleet generator produce). Execution
+// is always job-list driven — desugared legacy shapes reproduce the
+// historical event sequences bit for bit (pinned by the golden tests).
 //
 // Sweeps and repetitions over a Scenario are described by harness::RunPlan
 // (run_plan.hpp) and executed by harness::ParallelRunner (runner.hpp).
@@ -26,9 +37,63 @@
 namespace pfsc::harness {
 
 // ---------------------------------------------------------------------------
-// Background noise: lscratchc is a shared-user file system ("there is some
-// variance in performance with no forced contention"). Optional independent
-// writers with default layouts run alongside any scenario.
+// JobSpec: one application in a scenario's job list.
+// ---------------------------------------------------------------------------
+
+enum class JobKind : std::uint8_t {
+  ior,           // IOR through MPI-IO (ad_lustre / ad_generic)
+  plfs,          // IOR through ad_plfs (N data files of 2 stripes each)
+  probe_writer,  // Fig. 2-style writers streaming to one pinned OST
+  noise,         // background writer outside the MPI world (default layout)
+};
+
+const char* job_kind_name(JobKind k);
+
+struct JobSpec {
+  JobKind kind = JobKind::ior;
+  /// Scheduler tag for every RPC this job issues; must be unique within a
+  /// scenario so per-job QoS and the fleet analytics can tell jobs apart.
+  lustre::sched::JobId job_id = lustre::sched::kDefaultJob;
+  /// Application label for fleet reports ("ior", "checkpoint", ...).
+  /// Empty: the kind name.
+  std::string app;
+  /// Simulated-time offset at which the job starts. All-zero arrivals mean
+  /// a synchronised start (the paper's simultaneous-submission design: a
+  /// world barrier before the jobs split off); any positive arrival makes
+  /// the whole scenario free-running — each job begins at its own offset
+  /// with no cross-job barrier.
+  Seconds arrival = 0.0;
+
+  // -- ior / plfs --------------------------------------------------------
+  int nprocs = 1;    // ranks (ior/plfs) or writers (probe_writer)
+  ior::Config ior;   // ignored by probe_writer/noise
+
+  // -- probe_writer / noise payload --------------------------------------
+  Bytes bytes = 64_MiB;          // per writer
+  Bytes transfer_size = 1_MiB;
+  std::uint32_t stripes = 2;     // noise layout (background users rarely tune)
+  Bytes stripe_size = 1_MiB;
+  /// probe_writer: OST every writer pins via stripe_offset. -1 derives it
+  /// from the run seed (the historical probe behaviour: noise sometimes
+  /// lands on it, which is where Figure 2's variance band comes from).
+  std::int32_t target_ost = -1;
+
+  /// Throws UsageError when the fields are inconsistent for the kind.
+  /// `index` names the offending list slot in the message.
+  void validate(std::size_t index) const;
+
+  const char* kind_name() const { return job_kind_name(kind); }
+  /// Label for reports: `app` when set, else the kind name.
+  const std::string& display_app() const;
+};
+
+// ---------------------------------------------------------------------------
+// Background noise (deprecated alias).
+//
+// Noise writers are ordinary background jobs since PR 6: a NoiseSpec with
+// `writers == n` desugars to n JobKind::noise entries with JobIds
+// kNoiseJobBase + i appended to the job list (see Scenario::jobs()). The
+// struct and `spawn_noise` remain for source compatibility.
 // ---------------------------------------------------------------------------
 struct NoiseSpec {
   unsigned writers = 0;
@@ -41,7 +106,8 @@ struct NoiseSpec {
 /// Spawn the background writers on `fs` (each an independent client with a
 /// default-layout file, started immediately). The engine owns the spawned
 /// processes; `clients` receives ownership of the Client objects and must
-/// outlive the run.
+/// outlive the run. Deprecated: prefer JobKind::noise entries in the job
+/// list, which run_scenario spawns itself (with arrival-offset support).
 void spawn_noise(lustre::FileSystem& fs,
                  std::vector<std::unique_ptr<lustre::Client>>& clients,
                  const NoiseSpec& noise, std::uint64_t seed);
@@ -55,14 +121,22 @@ enum class Workload {
   plfs,   // IOR through ad_plfs with a backend collision census (Tables VIII/IX)
   multi,  // N simultaneous IOR jobs in one MPI world via comm_split (Figs. 3/4)
   probe,  // single-OST contention probe (Fig. 2)
+  jobs,   // explicit job list (replay / synthetic fleets)
 };
 
 const char* workload_name(Workload w);
 
 struct Scenario {
+  /// Legacy-shape selector; ignored (reported as Workload::jobs) whenever
+  /// `job_list` is non-empty.
   Workload workload = Workload::ior;
 
-  // -- job topology ------------------------------------------------------
+  /// The job list. Empty: desugared from the legacy fields below by
+  /// `jobs()`. Non-empty: authoritative (the legacy single-job fields are
+  /// ignored, except `noise`, which appends background jobs).
+  std::vector<JobSpec> job_list;
+
+  // -- legacy job topology (ignored when job_list is non-empty) ----------
   int nprocs = 1024;        // ranks per job (ior/plfs) or per probe writer set
   int procs_per_node = 16;
   int jobs = 4;             // multi only: number of contending jobs
@@ -76,6 +150,7 @@ struct Scenario {
 
   // -- environment ---------------------------------------------------------
   hw::PlatformParams platform = hw::cab_lscratchc();
+  /// Deprecated alias: desugars to JobKind::noise entries (see jobs()).
   NoiseSpec noise;  // writers == 0: quiet system
 
   /// > 0: attach a telemetry sampler at this interval and return the
@@ -92,8 +167,28 @@ struct Scenario {
   /// consulted when this field is off, so code wins over environment).
   trace::TraceConfig trace;
 
+  // -- factories (the four historical enum shapes + explicit lists) ------
+  /// One IOR job through MPI-IO: `Workload::ior` with `cfg`.
+  static Scenario single_ior(ior::Config cfg = {});
+  /// IOR through ad_plfs (forces hints.driver) with the backend census.
+  static Scenario plfs_ior(ior::Config cfg = {});
+  /// `jobs` simultaneous IOR executions of `nprocs` ranks each; job k gets
+  /// `cfg.test_file + ".k"` and JobId k, exactly the historical desugaring.
+  static Scenario multi(int jobs, int nprocs, ior::Config cfg = {});
+  /// `writers` single-OST probe writers of `bytes_per_writer` each.
+  static Scenario probe(std::uint32_t writers, Bytes bytes_per_writer = 64_MiB);
+  /// Explicit job-list scenario (replay / fleet generation).
+  static Scenario from_jobs(std::vector<JobSpec> list);
+
+  /// The scenario's job list: `job_list` when non-empty, else the legacy
+  /// fields desugared (ior/plfs/multi/probe -> the equivalent JobSpecs).
+  /// Noise writers from the deprecated `noise` field are appended as
+  /// JobKind::noise entries in either case.
+  std::vector<JobSpec> jobs_desugared() const;
+
   /// Throws UsageError when the fields are inconsistent (e.g. a multi
-  /// scenario routed through ad_plfs, or zero jobs/writers).
+  /// scenario routed through ad_plfs, zero jobs/writers, or a job list
+  /// with duplicate JobIds).
   void validate() const;
 };
 
@@ -104,13 +199,22 @@ struct Observation {
   Workload workload = Workload::ior;
   std::uint64_t seed = 0;
 
-  /// ior/plfs: the job's result. multi: aggregate with write_mbps set to the
-  /// per-job mean. probe: unused.
+  /// The job list that ran (desugared), in spawn order — what fleet
+  /// analytics joins per_job results against.
+  std::vector<JobSpec> jobs;
+
+  /// ior/plfs: the job's result. multi/jobs: aggregate with write_mbps set
+  /// to the per-job mean. probe: unused.
   ior::Result ior;
-  /// multi only: one result per job, in job order.
+  /// One result per rank-carrying job (ior/plfs/probe_writer), in job-list
+  /// order — populated for every workload since PR 6 (a single IOR run is
+  /// a one-entry fleet; probe writers report per-writer aggregates).
   std::vector<ior::Result> per_job;
-  double total_mbps = 0.0;  // multi only: sum over jobs
-  /// plfs: per-OST data-file occupancy census. multi: cross-job OST census.
+  /// Sum of the per-job headline metrics. Populated for every workload
+  /// since PR 6 (fleet aggregation needs no per-kind special cases).
+  double total_mbps = 0.0;
+  /// plfs: per-OST data-file occupancy census. multi/jobs: cross-job OST
+  /// census over every job's files.
   core::ObservedContention contention;
   /// probe only.
   ior::ProbeResult probe;
@@ -127,8 +231,8 @@ struct Observation {
   std::string trace_json;
 
   /// The scenario's headline number: write (or read-only) MB/s for
-  /// ior/plfs, mean per-job write MB/s for multi, mean per-process MB/s
-  /// for the probe.
+  /// ior/plfs, mean per-job write MB/s for multi/jobs, mean per-process
+  /// MB/s for the probe.
   double metric = 0.0;
 };
 

@@ -34,6 +34,17 @@ mpiio::File& IorJob::file_for(int rank) {
   return *file_;
 }
 
+std::vector<lustre::InodeId> IorJob::file_inos() const {
+  std::vector<lustre::InodeId> inos;
+  if (config_.file_per_process) {
+    inos.reserve(rank_files_.size());
+    for (const auto& f : rank_files_) inos.push_back(f->context().ino);
+  } else {
+    inos.push_back(file_->context().ino);
+  }
+  return inos;
+}
+
 Bytes IorJob::bytes_per_rank() const {
   return config_.block_size * config_.segment_count;
 }

@@ -72,6 +72,10 @@ class IorJob {
   const Config& config() const { return config_; }
   mpiio::File& file() { return *file_; }
 
+  /// Inodes of every data file the job wrote (one shared file, or one per
+  /// rank under -F) — the cross-job OST contention census input.
+  std::vector<lustre::InodeId> file_inos() const;
+
   /// Per-process data volume (block_size rounded to whole transfers).
   Bytes bytes_per_rank() const;
 

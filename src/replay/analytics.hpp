@@ -1,0 +1,82 @@
+// Fleet analytics: LASSi-style per-application risk and slowdown.
+//
+// A post-run pass over one Observation (and, when the run was traced, the
+// per-job byte counters of its RunSummary). For each job we compute:
+//
+//   ideal_mbps  what the job could sustain alone: the minimum of its client
+//               ceiling (nprocs x per_process_bw), its layout ceiling
+//               (stripes x OST streaming bw) and the fabric.
+//   slowdown    ideal_mbps / achieved_mbps — 1.0 means unimpeded, 4x means
+//               the job saw a quarter of its solo bandwidth (LASSi's
+//               per-application slowdown, computed from the simulation's
+//               ground truth instead of estimated from counters).
+//   risk_ost    client demand over layout capacity:
+//               min(nprocs x per_process_bw, fabric) / (stripes x ost_bw).
+//               > 1 means the job over-subscribes the OSTs it touches and
+//               is *at risk of* (and a source of) contention — the shape of
+//               LASSi's risk metric, which flags applications whose
+//               requested load exceeds what their file layout can serve.
+//
+// Jobs aggregate into per-application rows (by JobSpec::display_app()),
+// ranked by mean risk_ost then mean slowdown: the report's top row is the
+// application most likely to be hurting (and hurt by) the fleet. Emitted
+// as a fixed-width table and as deterministic JSON (insertion-order keys,
+// shortest round-trip doubles) so same seed => byte-identical report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace pfsc::replay {
+
+/// One job's analytics row.
+struct JobStats {
+  lustre::sched::JobId job_id = 0;
+  std::string app;
+  harness::JobKind kind = harness::JobKind::ior;
+  int nprocs = 1;
+  std::uint32_t stripes = 1;   // effective OST spread
+  Seconds arrival = 0.0;
+  Bytes bytes = 0;             // bytes the job moved (result ground truth)
+  Bytes served_bytes = 0;      // OSS-served bytes from the trace (0: untraced)
+  double achieved_mbps = 0.0;
+  double ideal_mbps = 0.0;
+  double slowdown = 1.0;
+  double risk_ost = 0.0;
+};
+
+/// Per-application aggregate over its jobs.
+struct AppStats {
+  std::string app;
+  unsigned jobs = 0;
+  int ranks = 0;               // sum of nprocs
+  Bytes bytes = 0;
+  double mean_achieved_mbps = 0.0;
+  double mean_slowdown = 0.0;
+  double max_slowdown = 0.0;
+  double mean_risk_ost = 0.0;
+  double max_risk_ost = 0.0;
+};
+
+struct FleetReport {
+  std::vector<JobStats> jobs;  // job-list order
+  std::vector<AppStats> apps;  // ranked: mean risk desc, mean slowdown desc
+  double total_mbps = 0.0;     // sum of per-job headline bandwidth
+  double jain_fairness = 1.0;  // Jain's index over per-job achieved MB/s
+  unsigned noise_jobs = 0;     // background jobs excluded from the rows
+
+  /// Fixed-width ranked table (one row per application + a fleet footer).
+  std::string format_table() const;
+  /// Deterministic JSON ({"fleet": ..., "apps": [...], "jobs": [...]}).
+  std::string to_json() const;
+};
+
+/// Analyze one finished run. `platform` supplies the capacity model
+/// (per-process, OST streaming and fabric bandwidth) used for the ideal
+/// estimates; pass the scenario's platform.
+FleetReport analyze_fleet(const harness::Observation& obs,
+                          const hw::PlatformParams& platform);
+
+}  // namespace pfsc::replay

@@ -1,0 +1,356 @@
+#include "replay/log.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "harness/cli.hpp"
+
+namespace pfsc::replay {
+
+namespace {
+
+using harness::JobKind;
+using harness::JobSpec;
+
+constexpr std::string_view kHeader = "#PFSC-JOBLOG v1";
+
+// -- emission ---------------------------------------------------------------
+
+std::string fmt_bytes(Bytes b) {
+  if (b >= 1_GiB && b % 1_GiB == 0) return std::to_string(b / 1_GiB) + "G";
+  if (b >= 1_MiB && b % 1_MiB == 0) return std::to_string(b / 1_MiB) + "M";
+  if (b >= 1_KiB && b % 1_KiB == 0) return std::to_string(b / 1_KiB) + "K";
+  return std::to_string(b);
+}
+
+std::string fmt_double(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  // Shortest representation that round-trips: prefer fewer digits when the
+  // value survives re-parsing (keeps hand-written "0.5" canonical).
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, x);
+    if (std::strtod(probe, nullptr) == x) return probe;
+  }
+  return buf;
+}
+
+const char* driver_token(mpiio::Driver d) {
+  switch (d) {
+    case mpiio::Driver::ad_ufs: return "ad_ufs";
+    case mpiio::Driver::ad_lustre: return "ad_lustre";
+    case mpiio::Driver::ad_plfs: return "ad_plfs";
+  }
+  return "?";
+}
+
+void emit_job(std::ostringstream& out, const JobSpec& j) {
+  out << "job id=" << j.job_id << " kind=" << j.kind_name();
+  if (!j.app.empty()) out << " app=" << j.app;
+  out << " arrival=" << fmt_double(j.arrival);
+  switch (j.kind) {
+    case JobKind::ior:
+    case JobKind::plfs:
+      out << " nprocs=" << j.nprocs
+          << " block=" << fmt_bytes(j.ior.block_size)
+          << " transfer=" << fmt_bytes(j.ior.transfer_size)
+          << " segments=" << j.ior.segment_count
+          << " collective=" << (j.ior.use_collective ? 1 : 0)
+          << " write=" << (j.ior.write_file ? 1 : 0)
+          << " read=" << (j.ior.read_file ? 1 : 0)
+          << " fpp=" << (j.ior.file_per_process ? 1 : 0)
+          << " reorder=" << j.ior.reorder_tasks
+          << " stripes=" << j.ior.hints.striping_factor
+          << " stripe_size=" << fmt_bytes(j.ior.hints.striping_unit);
+      if (j.kind == JobKind::ior) {
+        out << " driver=" << driver_token(j.ior.hints.driver);
+      }
+      out << " file=" << j.ior.test_file;
+      break;
+    case JobKind::probe_writer:
+      out << " nprocs=" << j.nprocs << " bytes=" << fmt_bytes(j.bytes)
+          << " transfer=" << fmt_bytes(j.transfer_size)
+          << " target=" << j.target_ost;
+      break;
+    case JobKind::noise:
+      out << " bytes=" << fmt_bytes(j.bytes)
+          << " transfer=" << fmt_bytes(j.transfer_size)
+          << " stripes=" << j.stripes
+          << " stripe_size=" << fmt_bytes(j.stripe_size);
+      break;
+  }
+  out << "\n";
+}
+
+// -- parsing ----------------------------------------------------------------
+
+struct LineCtx {
+  std::string_view origin;
+  std::size_t line = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw UsageError(std::string(origin) + ":" + std::to_string(line) + ": " +
+                     what);
+  }
+
+  /// Run a strict cli parser for one field, prefixing its diagnostic with
+  /// origin:line.
+  template <typename F>
+  auto field(std::string_view key, F&& parse) const {
+    try {
+      return parse("field '" + std::string(key) + "'");
+    } catch (const UsageError& e) {
+      fail(e.what());
+    }
+  }
+};
+
+struct Token {
+  std::string_view key;
+  std::string_view value;
+};
+
+std::vector<Token> tokenize(std::string_view rest, const LineCtx& ctx) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    while (pos < rest.size() && (rest[pos] == ' ' || rest[pos] == '\t')) ++pos;
+    if (pos >= rest.size()) break;
+    std::size_t end = pos;
+    while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+    const std::string_view token = rest.substr(pos, end - pos);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      ctx.fail("expected key=value, got '" + std::string(token) + "'");
+    }
+    tokens.push_back({token.substr(0, eq), token.substr(eq + 1)});
+    pos = end;
+  }
+  return tokens;
+}
+
+bool parse_bool(const LineCtx& ctx, std::string_view key,
+                std::string_view value) {
+  if (value == "0") return false;
+  if (value == "1") return true;
+  ctx.fail("field '" + std::string(key) + "': expected 0 or 1: '" +
+           std::string(value) + "'");
+}
+
+JobKind parse_kind(const LineCtx& ctx, std::string_view value) {
+  if (value == "ior") return JobKind::ior;
+  if (value == "plfs") return JobKind::plfs;
+  if (value == "probe") return JobKind::probe_writer;
+  if (value == "noise") return JobKind::noise;
+  ctx.fail("field 'kind': expected one of: ior, plfs, probe, noise: '" +
+           std::string(value) + "'");
+}
+
+mpiio::Driver parse_driver(const LineCtx& ctx, std::string_view value) {
+  if (value == "ad_ufs") return mpiio::Driver::ad_ufs;
+  if (value == "ad_lustre") return mpiio::Driver::ad_lustre;
+  ctx.fail("field 'driver': expected one of: ad_ufs, ad_lustre (kind=plfs "
+           "implies ad_plfs): '" + std::string(value) + "'");
+}
+
+JobSpec parse_job(const LineCtx& ctx, std::string_view rest) {
+  namespace cli = harness::cli;
+  const std::vector<Token> tokens = tokenize(rest, ctx);
+
+  // Pass 1: the discriminators (kind decides which keys are legal).
+  JobSpec j;
+  bool have_id = false, have_kind = false;
+  for (const Token& t : tokens) {
+    if (t.key == "id") {
+      j.job_id = static_cast<lustre::sched::JobId>(
+          ctx.field("id", [&](const std::string& f) {
+            return cli::parse_uint(f, t.value);
+          }));
+      have_id = true;
+    } else if (t.key == "kind") {
+      j.kind = parse_kind(ctx, t.value);
+      have_kind = true;
+    }
+  }
+  if (!have_id) ctx.fail("job line missing required field 'id'");
+  if (!have_kind) ctx.fail("job line missing required field 'kind'");
+  if (j.kind == JobKind::plfs) j.ior.hints.driver = mpiio::Driver::ad_plfs;
+
+  // Pass 2: everything else, with duplicate and kind-validity checks.
+  std::set<std::string_view> seen;
+  const bool iorish = j.kind == JobKind::ior || j.kind == JobKind::plfs;
+  for (const Token& t : tokens) {
+    if (!seen.insert(t.key).second) {
+      ctx.fail("duplicate field '" + std::string(t.key) + "'");
+    }
+    const auto key = t.key;
+    const auto value = t.value;
+    const auto uint_field = [&] {
+      return ctx.field(key, [&](const std::string& f) {
+        return cli::parse_uint(f, value);
+      });
+    };
+    const auto int_field = [&] {
+      return ctx.field(key, [&](const std::string& f) {
+        return cli::parse_int(f, value);
+      });
+    };
+    const auto bytes_field = [&] {
+      return ctx.field(key, [&](const std::string& f) {
+        return cli::parse_bytes(f, value);
+      });
+    };
+    if (key == "id" || key == "kind") {
+      continue;
+    } else if (key == "app") {
+      j.app = std::string(value);
+    } else if (key == "arrival") {
+      j.arrival = ctx.field(key, [&](const std::string& f) {
+        return cli::parse_double(f, value);
+      });
+      if (j.arrival < 0.0) ctx.fail("field 'arrival': must be non-negative");
+    } else if (key == "nprocs" && j.kind != JobKind::noise) {
+      j.nprocs = static_cast<int>(int_field());
+    } else if (key == "block" && iorish) {
+      j.ior.block_size = bytes_field();
+    } else if (key == "transfer") {
+      if (iorish) {
+        j.ior.transfer_size = bytes_field();
+      } else {
+        j.transfer_size = bytes_field();
+      }
+    } else if (key == "segments" && iorish) {
+      j.ior.segment_count = static_cast<std::uint32_t>(uint_field());
+    } else if (key == "collective" && iorish) {
+      j.ior.use_collective = parse_bool(ctx, key, value);
+    } else if (key == "write" && iorish) {
+      j.ior.write_file = parse_bool(ctx, key, value);
+    } else if (key == "read" && iorish) {
+      j.ior.read_file = parse_bool(ctx, key, value);
+    } else if (key == "fpp" && iorish) {
+      j.ior.file_per_process = parse_bool(ctx, key, value);
+    } else if (key == "reorder" && iorish) {
+      j.ior.reorder_tasks = static_cast<int>(int_field());
+    } else if (key == "stripes" && iorish) {
+      j.ior.hints.striping_factor = static_cast<std::uint32_t>(uint_field());
+    } else if (key == "stripes" && j.kind == JobKind::noise) {
+      j.stripes = static_cast<std::uint32_t>(uint_field());
+    } else if (key == "stripe_size" && iorish) {
+      j.ior.hints.striping_unit = bytes_field();
+    } else if (key == "stripe_size" && j.kind == JobKind::noise) {
+      j.stripe_size = bytes_field();
+    } else if (key == "driver" && j.kind == JobKind::ior) {
+      j.ior.hints.driver = parse_driver(ctx, value);
+    } else if (key == "file" && iorish) {
+      j.ior.test_file = std::string(value);
+    } else if (key == "bytes" &&
+               (j.kind == JobKind::probe_writer || j.kind == JobKind::noise)) {
+      j.bytes = bytes_field();
+    } else if (key == "target" && j.kind == JobKind::probe_writer) {
+      j.target_ost = static_cast<std::int32_t>(int_field());
+    } else {
+      ctx.fail("field '" + std::string(key) + "': unknown or not valid for "
+               "kind=" + std::string(j.kind_name()));
+    }
+  }
+  j.ior.job_id = j.job_id;
+  return j;
+}
+
+}  // namespace
+
+JobLog parse_joblog(std::string_view text, std::string_view origin) {
+  JobLog log;
+  LineCtx ctx{origin, 0};
+  bool saw_header = false, saw_meta = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++ctx.line;
+
+    if (!saw_header) {
+      if (line != kHeader) {
+        ctx.fail("expected header '" + std::string(kHeader) + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("meta", 0) == 0 &&
+        (line.size() == 4 || line[4] == ' ' || line[4] == '\t')) {
+      if (saw_meta) ctx.fail("duplicate meta line");
+      if (!log.jobs.empty()) ctx.fail("meta line must precede job lines");
+      saw_meta = true;
+      for (const Token& t : tokenize(line.substr(4), ctx)) {
+        if (t.key == "ppn") {
+          log.procs_per_node = static_cast<int>(
+              ctx.field("ppn", [&](const std::string& f) {
+                return harness::cli::parse_int(f, t.value);
+              }));
+          if (log.procs_per_node < 1) {
+            ctx.fail("field 'ppn': must be positive");
+          }
+        } else {
+          ctx.fail("field '" + std::string(t.key) + "': unknown meta key");
+        }
+      }
+      continue;
+    }
+    if (line.rfind("job", 0) == 0 &&
+        (line.size() == 3 || line[3] == ' ' || line[3] == '\t')) {
+      log.jobs.push_back(parse_job(ctx, line.substr(3)));
+      continue;
+    }
+    ctx.fail("expected 'job', 'meta' or '#' comment, got '" +
+             std::string(line.substr(0, 32)) + "'");
+  }
+  if (!saw_header) {
+    ctx.line = 1;
+    ctx.fail("empty log: expected header '" + std::string(kHeader) + "'");
+  }
+  for (std::size_t i = 0; i < log.jobs.size(); ++i) {
+    log.jobs[i].validate(i);
+  }
+  return log;
+}
+
+JobLog load_joblog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PFSC_REQUIRE(in.good(), "replay: cannot open joblog '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_joblog(buf.str(), path);
+}
+
+std::string emit_joblog(const JobLog& log) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "meta ppn=" << log.procs_per_node << "\n";
+  for (const JobSpec& j : log.jobs) emit_job(out, j);
+  return out.str();
+}
+
+harness::Scenario to_scenario(const JobLog& log) {
+  harness::Scenario s = harness::Scenario::from_jobs(log.jobs);
+  s.procs_per_node = log.procs_per_node;
+  s.validate();
+  return s;
+}
+
+JobLog from_scenario(const harness::Scenario& scenario) {
+  JobLog log;
+  log.procs_per_node = scenario.procs_per_node;
+  log.jobs = scenario.jobs_desugared();
+  return log;
+}
+
+}  // namespace pfsc::replay

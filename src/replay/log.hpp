@@ -1,0 +1,62 @@
+// Per-job I/O log: the replay subsystem's on-disk workload description.
+//
+// A joblog is a Darshan-flavoured plain-text record of a fleet: one `job`
+// line per application run, carrying the fields the simulator needs to
+// re-submit it (kind, JobId, arrival offset, rank count, access pattern,
+// layout). The format is line-oriented and strict — every line is
+// `key=value` tokens, unknown keys and malformed values are UsageErrors
+// naming the file, line and field — so a log survives hand-editing and
+// diffing, and `emit_joblog(parse_joblog(text))` is canonical (fixed key
+// order, byte sizes re-suffixed), which is what the round-trip tests pin.
+//
+//   #PFSC-JOBLOG v1
+//   meta ppn=16
+//   job id=0 kind=ior app=vasp arrival=0 nprocs=32 block=4M transfer=1M
+//       segments=10 ... stripes=16 stripe_size=4M driver=ad_lustre
+//       file=/ior.dat.0                    (one physical line per job)
+//   job id=1 kind=probe arrival=0.5 nprocs=4 bytes=16M transfer=1M target=-1
+//   job id=65536 kind=noise arrival=0 bytes=256M transfer=1M stripes=2
+//       stripe_size=1M
+//
+// `replay::to_scenario` lowers a log onto the harness job list;
+// `replay::from_scenario` round-trips any Scenario (legacy enum shapes
+// desugar first, so a multi run can be exported and replayed bit-for-bit).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace pfsc::replay {
+
+struct JobLog {
+  /// Ranks per simulated node for every job (the harness is one world).
+  int procs_per_node = 16;
+  /// One entry per `job` line, in file order.
+  std::vector<harness::JobSpec> jobs;
+};
+
+/// Parse a joblog. `origin` names the source in diagnostics (a path, or
+/// "<string>" for tests). Throws UsageError("origin:line: ...") on any
+/// malformed header, unknown key, duplicate key, missing required field,
+/// value that fails strict parsing, or field invalid for the job kind.
+JobLog parse_joblog(std::string_view text, std::string_view origin);
+
+/// Read and parse a joblog file; diagnostics carry the path.
+JobLog load_joblog(const std::string& path);
+
+/// Canonical emission: fixed key order per kind, K/M/G byte suffixes where
+/// exact, `app=` only when set. emit(parse(emit(x))) == emit(x).
+std::string emit_joblog(const JobLog& log);
+
+/// Lower a log onto the harness: an explicit job-list Scenario.
+harness::Scenario to_scenario(const JobLog& log);
+
+/// Export any Scenario as a log (legacy enum shapes desugar to their job
+/// lists first, so the export replays bit-for-bit).
+JobLog from_scenario(const harness::Scenario& scenario);
+
+}  // namespace pfsc::replay

@@ -3,7 +3,11 @@
 // and the scenario flag table must actually drive Scenario/RunPlan fields.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "harness/cli.hpp"
+#include "replay/replay_cli.hpp"
 
 namespace pfsc::harness::cli {
 namespace {
@@ -289,6 +293,138 @@ TEST(CliTraceFlags, ParseStrictlyAndDriveTraceConfig) {
   auto argv4 = argv_of(bad2);
   EXPECT_THROW(table.parse(static_cast<int>(argv4.size()), argv4.data(), 1),
                UsageError);
+}
+
+// --replay / --fleet flags register on top of scenario_flags (the pfsc_cli
+// arrangement) and resolve into the scenario's job list via apply().
+FlagTable replay_table(Scenario& scenario, RunPlan& plan, unsigned& threads,
+                       replay::ReplayOptions& opts) {
+  FlagTable table = scenario_flags(scenario, plan, threads);
+  replay::add_replay_flags(table, opts);
+  return table;
+}
+
+TEST(CliReplayFlags, ParseWithDeprecatedSpellings) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  replay::ReplayOptions opts;
+  FlagTable table = replay_table(scenario, plan, threads, opts);
+
+  std::vector<std::string> args = {"prog", "--replay_log", "day.joblog"};
+  auto argv = argv_of(args);
+  table.parse(static_cast<int>(argv.size()), argv.data(), 1);
+  EXPECT_EQ(opts.replay_log, "day.joblog");
+  EXPECT_TRUE(opts.active());
+
+  replay::ReplayOptions fleet_opts;
+  Scenario s2;
+  RunPlan p2;
+  FlagTable table2 = replay_table(s2, p2, threads, fleet_opts);
+  std::vector<std::string> fleet_args = {
+      "prog",        "--fleet_jobs", "12",          "--fleet-mix",
+      "ior:2,plfs",  "--fleet_seed", "9",           "--fleet-span",
+      "30"};
+  auto argv2 = argv_of(fleet_args);
+  table2.parse(static_cast<int>(argv2.size()), argv2.data(), 1);
+  EXPECT_TRUE(fleet_opts.fleet_requested);
+  EXPECT_EQ(fleet_opts.fleet.jobs, 12u);
+  EXPECT_EQ(fleet_opts.fleet.mix, "ior:2,plfs");
+  EXPECT_EQ(fleet_opts.fleet.seed, 9u);
+  EXPECT_DOUBLE_EQ(fleet_opts.fleet.span, 30.0);
+}
+
+TEST(CliReplayFlags, FleetParsesStrictly) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  replay::ReplayOptions opts;
+  FlagTable table = replay_table(scenario, plan, threads, opts);
+
+  std::vector<std::string> zero = {"prog", "--fleet", "0"};
+  auto argv1 = argv_of(zero);
+  EXPECT_THROW(table.parse(static_cast<int>(argv1.size()), argv1.data(), 1),
+               UsageError);
+
+  std::vector<std::string> garbage = {"prog", "--fleet", "many"};
+  auto argv2 = argv_of(garbage);
+  EXPECT_THROW(table.parse(static_cast<int>(argv2.size()), argv2.data(), 1),
+               UsageError);
+}
+
+TEST(CliReplayFlags, FleetMixUnknownTemplateListsChoices) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  replay::ReplayOptions opts;
+  FlagTable table = replay_table(scenario, plan, threads, opts);
+
+  // The typo fails at the flag, before any run starts, and the message
+  // enumerates every valid template — consistent with --link_policy.
+  std::vector<std::string> bad = {"prog", "--fleet_mix", "ior:2,bogus"};
+  auto argv = argv_of(bad);
+  try {
+    table.parse(static_cast<int>(argv.size()), argv.data(), 1);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown template 'bogus'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ior"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("checkpoint"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("plfs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mdstorm"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(opts.fleet.mix, replay::FleetConfig{}.mix);  // default kept
+}
+
+TEST(CliReplayFlags, ReplayAndFleetAreMutuallyExclusive) {
+  replay::ReplayOptions opts;
+  opts.replay_log = "day.joblog";
+  opts.fleet_requested = true;
+  Scenario scenario;
+  EXPECT_THROW(opts.apply(scenario), UsageError);
+}
+
+TEST(CliReplayFlags, ApplyResolvesIntoTheJobList) {
+  const std::string path = testing::TempDir() + "cli_mini.joblog";
+  {
+    std::ofstream out(path);
+    out << "#PFSC-JOBLOG v1\n"
+        << "meta ppn=8\n"
+        << "job id=1 kind=ior arrival=0 nprocs=4 block=4M transfer=1M "
+           "segments=1 collective=1 write=1 read=0 fpp=0 reorder=0 "
+           "stripes=2 stripe_size=1M driver=ad_lustre file=/cli.dat\n";
+  }
+  replay::ReplayOptions opts;
+  opts.replay_log = path;
+  Scenario scenario;
+  opts.apply(scenario);
+  ASSERT_EQ(scenario.job_list.size(), 1u);
+  EXPECT_EQ(scenario.workload, Workload::jobs);
+  EXPECT_EQ(scenario.procs_per_node, 8);  // meta ppn wins
+  EXPECT_EQ(scenario.job_list.front().ior.test_file, "/cli.dat");
+  std::remove(path.c_str());
+
+  replay::ReplayOptions fleet_opts;
+  fleet_opts.fleet_requested = true;
+  fleet_opts.fleet.jobs = 6;
+  Scenario s2;
+  fleet_opts.apply(s2);
+  EXPECT_EQ(s2.job_list.size(), 6u);
+  EXPECT_EQ(s2.workload, Workload::jobs);
+}
+
+TEST(CliReplayFlags, UsageListsReplayFlags) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  replay::ReplayOptions opts;
+  FlagTable table = replay_table(scenario, plan, threads, opts);
+  const std::string usage = table.usage();
+  EXPECT_NE(usage.find("--replay"), std::string::npos);
+  EXPECT_NE(usage.find("--fleet"), std::string::npos);
+  EXPECT_NE(usage.find("--fleet_mix"), std::string::npos);
+  EXPECT_NE(usage.find("checkpoint"), std::string::npos);  // template names
 }
 
 TEST(CliScenarioFlags, UsageListsFieldNamesAndAliases) {

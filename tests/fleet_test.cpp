@@ -1,0 +1,213 @@
+// Synthetic-fleet generator + analytics tests.
+//
+// Covers the fleet generator (determinism, mix parsing, rank budget), the
+// LASSi-style analytics pass (hand-checked risk/ideal numbers, ranking
+// invariants) and the headline acceptance property: a 1000-job synthetic
+// fleet produces a byte-identical ranked report at any ParallelRunner
+// thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/run_plan.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "replay/analytics.hpp"
+#include "replay/fleet.hpp"
+#include "replay/log.hpp"
+#include "support/error.hpp"
+
+namespace pfsc::replay {
+namespace {
+
+using harness::JobKind;
+using harness::JobSpec;
+using harness::Observation;
+using harness::Scenario;
+
+TEST(FleetGenerator, SameSeedSameLog) {
+  FleetConfig cfg;
+  cfg.jobs = 64;
+  cfg.seed = 42;
+  const std::string a = emit_joblog(generate_fleet(cfg));
+  const std::string b = emit_joblog(generate_fleet(cfg));
+  EXPECT_EQ(a, b);
+}
+
+TEST(FleetGenerator, DifferentSeedDifferentLog) {
+  FleetConfig cfg;
+  cfg.jobs = 64;
+  cfg.seed = 42;
+  const std::string a = emit_joblog(generate_fleet(cfg));
+  cfg.seed = 43;
+  const std::string b = emit_joblog(generate_fleet(cfg));
+  EXPECT_NE(a, b);
+}
+
+TEST(FleetGenerator, JobIdsUniqueAndArrivalsSorted) {
+  FleetConfig cfg;
+  cfg.jobs = 200;
+  cfg.seed = 7;
+  const JobLog log = generate_fleet(cfg);
+  ASSERT_EQ(log.jobs.size(), 200u);
+  std::set<lustre::sched::JobId> ids;
+  Seconds prev = 0.0;
+  for (const JobSpec& j : log.jobs) {
+    EXPECT_TRUE(ids.insert(j.job_id).second) << "duplicate id " << j.job_id;
+    EXPECT_GE(j.arrival, prev);  // Poisson clock only moves forward
+    prev = j.arrival;
+  }
+}
+
+TEST(FleetGenerator, RespectsMix) {
+  FleetConfig cfg;
+  cfg.jobs = 50;
+  cfg.mix = "mdstorm";
+  const JobLog log = generate_fleet(cfg);
+  for (const JobSpec& j : log.jobs) EXPECT_EQ(j.app, "mdstorm");
+}
+
+TEST(FleetGenerator, ThousandJobsFitThePlatform) {
+  FleetConfig cfg;
+  cfg.jobs = 1000;
+  cfg.seed = 9;
+  const JobLog log = generate_fleet(cfg);
+  long ranks = 0;
+  for (const JobSpec& j : log.jobs) ranks += j.nprocs;
+  const Scenario s = to_scenario(log);
+  const long cap =
+      static_cast<long>(s.platform.nodes) * s.platform.cores_per_node;
+  EXPECT_LE(ranks, cap);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(FleetMix, UnknownTemplateListsChoices) {
+  try {
+    parse_fleet_mix("--fleet_mix", "ior:2,bogus:1");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown template 'bogus'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected one of: ior, checkpoint, plfs, mdstorm"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(FleetMix, RejectsBadWeights) {
+  EXPECT_THROW(parse_fleet_mix("--fleet_mix", "ior:0"), UsageError);
+  EXPECT_THROW(parse_fleet_mix("--fleet_mix", "ior:x"), UsageError);
+  EXPECT_THROW(parse_fleet_mix("--fleet_mix", "ior:,plfs"), UsageError);
+  EXPECT_THROW(parse_fleet_mix("--fleet_mix", ",ior"), UsageError);
+  EXPECT_THROW(parse_fleet_mix("--fleet_mix", ""), UsageError);
+}
+
+TEST(FleetMix, ParsesNamesAndWeights) {
+  const std::vector<MixEntry> mix =
+      parse_fleet_mix("--fleet_mix", "ior:4,checkpoint:2,plfs");
+  ASSERT_EQ(mix.size(), 3u);
+  EXPECT_EQ(mix[0].name, "ior");
+  EXPECT_EQ(mix[0].weight, 4u);
+  EXPECT_EQ(mix[1].name, "checkpoint");
+  EXPECT_EQ(mix[1].weight, 2u);
+  EXPECT_EQ(mix[2].name, "plfs");
+  EXPECT_EQ(mix[2].weight, 1u);  // default weight
+}
+
+// risk_ost and ideal_mbps follow directly from the platform capacity model;
+// pin them on a job small enough to check by hand. One 4-rank job striped
+// over 2 OSTs on the default platform: client demand = min(4 x 420, 24000)
+// = 1680 MB/s, layout capacity = 2 x 300 = 600 MB/s.
+TEST(FleetAnalytics, HandCheckedRiskAndIdeal) {
+  JobSpec j;
+  j.kind = JobKind::ior;
+  j.job_id = 1;
+  j.nprocs = 4;
+  j.ior.hints.striping_factor = 2;
+  j.ior.test_file = "/risk.dat";
+  Scenario s = Scenario::from_jobs({j});
+  const Observation obs = harness::run_scenario(s, 1);
+  const FleetReport report = analyze_fleet(obs, s.platform);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const JobStats& row = report.jobs.front();
+  EXPECT_DOUBLE_EQ(row.ideal_mbps, 600.0);
+  EXPECT_DOUBLE_EQ(row.risk_ost, 1680.0 / 600.0);
+  EXPECT_GT(row.achieved_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(row.slowdown, 600.0 / row.achieved_mbps);
+  ASSERT_EQ(report.apps.size(), 1u);
+  EXPECT_EQ(report.apps.front().jobs, 1u);
+  EXPECT_NEAR(report.jain_fairness, 1.0, 1e-12);
+}
+
+TEST(FleetAnalytics, AppsRankedByRiskThenSlowdown) {
+  FleetConfig cfg;
+  cfg.jobs = 40;
+  cfg.seed = 3;
+  Scenario s = to_scenario(generate_fleet(cfg));
+  const Observation obs = harness::run_scenario(s, 3);
+  const FleetReport report = analyze_fleet(obs, s.platform);
+  ASSERT_GE(report.apps.size(), 2u);
+  for (std::size_t i = 1; i < report.apps.size(); ++i) {
+    const AppStats& hi = report.apps[i - 1];
+    const AppStats& lo = report.apps[i];
+    EXPECT_TRUE(hi.mean_risk_ost > lo.mean_risk_ost ||
+                (hi.mean_risk_ost == lo.mean_risk_ost &&
+                 hi.mean_slowdown >= lo.mean_slowdown))
+        << "rank inversion at row " << i;
+  }
+  // Every generated job shows up in exactly one app row.
+  unsigned counted = 0;
+  for (const AppStats& a : report.apps) counted += a.jobs;
+  EXPECT_EQ(counted, 40u);
+}
+
+TEST(FleetAnalytics, ReportSerialisationIsStable) {
+  FleetConfig cfg;
+  cfg.jobs = 12;
+  cfg.seed = 5;
+  Scenario s = to_scenario(generate_fleet(cfg));
+  const Observation obs = harness::run_scenario(s, 5);
+  const FleetReport report = analyze_fleet(obs, s.platform);
+  EXPECT_EQ(report.to_json(), analyze_fleet(obs, s.platform).to_json());
+  const std::string table = report.format_table();
+  EXPECT_NE(table.find("risk(mean/max)"), std::string::npos);
+  EXPECT_NE(table.find("slowdown(mean/max)"), std::string::npos);
+}
+
+// Acceptance: the 1000-job synthetic fleet is deterministic end to end —
+// the same seed yields a byte-identical ranked report no matter how many
+// ParallelRunner threads executed the run.
+TEST(FleetDeterminism, ThousandJobReportIdenticalAcrossThreadCounts) {
+  FleetConfig cfg;
+  cfg.jobs = 1000;
+  cfg.seed = 17;
+  const JobLog log = generate_fleet(cfg);
+  const Scenario s = to_scenario(log);
+
+  harness::RunPlan plan;
+  plan.repetitions(1).base_seed(0x51EE7);
+
+  const harness::RunSet one = harness::ParallelRunner(1).run(s, plan);
+  const harness::RunSet four = harness::ParallelRunner(4).run(s, plan);
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_EQ(four.size(), 1u);
+  ASSERT_EQ(one.point(0).reps.size(), 1u);
+
+  const std::string report_one =
+      analyze_fleet(one.point(0).reps.front(), s.platform).to_json();
+  const std::string report_four =
+      analyze_fleet(four.point(0).reps.front(), s.platform).to_json();
+  EXPECT_EQ(report_one, report_four);
+  EXPECT_EQ(one.to_csv(), four.to_csv());
+
+  const FleetReport report =
+      analyze_fleet(one.point(0).reps.front(), s.platform);
+  EXPECT_EQ(report.jobs.size(), 1000u);
+  EXPECT_GT(report.total_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace pfsc::replay

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a pfsc fleet analytics report (pfsc_cli fleet/replay --report).
+
+Checks (stdlib only, used by CI and by hand):
+  * the file parses as JSON with "fleet", "apps" and "jobs" sections;
+  * the fleet header is consistent (job count matches the jobs array,
+    total_mbps equals the per-job sum, Jain index in (0, 1]);
+  * every job row is internally consistent: achieved/ideal positive,
+    slowdown == ideal/achieved, risk_ost > 0, known kind;
+  * app rows partition the jobs (job and rank totals match) and are
+    ranked by mean_risk_ost desc, mean_slowdown desc;
+  * optional --min-jobs floor for the synthetic-fleet CI run.
+
+Usage: validate_fleet_report.py [--min-jobs N] report.json [more.json ...]
+"""
+import argparse
+import json
+import sys
+
+KINDS = {"ior", "plfs", "probe", "noise"}
+REL_TOL = 1e-9
+
+
+def close(a: float, b: float) -> bool:
+    return abs(a - b) <= REL_TOL * max(1.0, abs(a), abs(b))
+
+
+def validate(path: str, min_jobs: int) -> list[str]:
+    errors: list[str] = []
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    for section in ("fleet", "apps", "jobs"):
+        if section not in doc:
+            return [f"{path}: missing '{section}' section"]
+    fleet, apps, jobs = doc["fleet"], doc["apps"], doc["jobs"]
+
+    if fleet["jobs"] != len(jobs):
+        errors.append(f"{path}: fleet.jobs {fleet['jobs']} != "
+                      f"len(jobs) {len(jobs)}")
+    if len(jobs) < min_jobs:
+        errors.append(f"{path}: {len(jobs)} jobs < required {min_jobs}")
+    if not 0.0 < fleet["jain_fairness"] <= 1.0 + REL_TOL:
+        errors.append(f"{path}: jain_fairness {fleet['jain_fairness']} "
+                      "outside (0, 1]")
+
+    total = 0.0
+    seen_ids = set()
+    for i, j in enumerate(jobs):
+        where = f"{path}: job[{i}] (id {j.get('id')})"
+        if j["id"] in seen_ids:
+            errors.append(f"{where}: duplicate job id")
+        seen_ids.add(j["id"])
+        if j["kind"] not in KINDS:
+            errors.append(f"{where}: unknown kind '{j['kind']}'")
+        if j["nprocs"] < 1 or j["stripes"] < 1 or j["bytes"] <= 0:
+            errors.append(f"{where}: non-positive nprocs/stripes/bytes")
+        if j["achieved_mbps"] <= 0.0 or j["ideal_mbps"] <= 0.0:
+            errors.append(f"{where}: non-positive bandwidth")
+        elif not close(j["slowdown"], j["ideal_mbps"] / j["achieved_mbps"]):
+            errors.append(f"{where}: slowdown {j['slowdown']} != "
+                          f"ideal/achieved "
+                          f"{j['ideal_mbps'] / j['achieved_mbps']}")
+        if j["risk_ost"] <= 0.0:
+            errors.append(f"{where}: non-positive risk_ost")
+        total += j["achieved_mbps"]
+    if not close(total, fleet["total_mbps"]):
+        errors.append(f"{path}: total_mbps {fleet['total_mbps']} != "
+                      f"per-job sum {total}")
+
+    app_jobs = sum(a["jobs"] for a in apps)
+    if app_jobs != len(jobs):
+        errors.append(f"{path}: app rows cover {app_jobs} jobs, "
+                      f"expected {len(jobs)}")
+    if sum(a["ranks"] for a in apps) != sum(j["nprocs"] for j in jobs):
+        errors.append(f"{path}: app rank totals disagree with job rows")
+    for hi, lo in zip(apps, apps[1:]):
+        if (hi["mean_risk_ost"], hi["mean_slowdown"]) < \
+           (lo["mean_risk_ost"], lo["mean_slowdown"]):
+            errors.append(f"{path}: apps '{hi['app']}' -> '{lo['app']}' "
+                          "not ranked by (mean_risk_ost, mean_slowdown)")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--min-jobs", type=int, default=1,
+                    help="minimum number of job rows (default 1)")
+    ap.add_argument("reports", nargs="+")
+    args = ap.parse_args()
+
+    failed = False
+    for path in args.reports:
+        errors = validate(path, args.min_jobs)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            print(f"{path}: OK — {doc['fleet']['jobs']} jobs, "
+                  f"{len(doc['apps'])} apps, "
+                  f"jain {doc['fleet']['jain_fairness']:.4f}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
