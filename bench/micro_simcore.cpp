@@ -50,11 +50,11 @@ void BM_EventQueueHold(benchmark::State& state, sim::EventQueuePolicy policy) {
   Rng rng(0xB0DE);
   std::uint64_t seq = 1;
   for (int i = 0; i < population; ++i) {
-    q->push({rng.uniform_double(0.0, 1.0), seq++, std::noop_coroutine()});
+    q->push({rng.uniform_double(0.0, 1.0), 0.0, seq++, std::noop_coroutine()});
   }
   for (auto _ : state) {
     const sim::ScheduledEvent ev = q->pop();
-    q->push({ev.t + rng.uniform_double(0.0, 1.0), seq++,
+    q->push({ev.t + rng.uniform_double(0.0, 1.0), ev.t, seq++,
              std::noop_coroutine()});
     benchmark::DoNotOptimize(seq);
   }
@@ -149,6 +149,60 @@ BENCHMARK_CAPTURE(BM_Fig3FourJobs, binary_heap,
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 BENCHMARK_CAPTURE(BM_Fig3FourJobs, ladder, sim::EventQueuePolicy::ladder)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// The same four-job Fig. 3 contention run, partitioned across simulation
+// domains (1 = the classic single engine; 4 and 8 shard the 32 OSS across
+// worker threads under conservative lookahead). Results are bit-identical
+// at every domain count, so items_per_second ratios between captures read
+// directly as the parallel speedup. Gated in bench-baseline.json with
+// min_cpus guards: the ratio is only meaningful when the host actually
+// has cores for the domain workers.
+void BM_ShardedFig3(benchmark::State& state, std::uint32_t domains) {
+  harness::Scenario s = harness::Scenario::multi(4, 1024);
+  s.ior.hints.driver = mpiio::Driver::ad_lustre;
+  s.ior.hints.striping_factor = 160;
+  s.ior.hints.striping_unit = 128_MiB;
+  s.platform.sim_domains = domains;
+  for (auto _ : state) {
+    const auto obs = harness::run_scenario(s, 0xF3F3);
+    benchmark::DoNotOptimize(obs.total_mbps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ShardedFig3, domains_1, 1u)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_ShardedFig3, domains_4, 4u)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_ShardedFig3, domains_8, 8u)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Capability run: one 4,096-rank job striped wide over the full lscratchc
+// system (480 OSTs / 32 OSS). This is the scale target the sharded engine
+// exists for; domains = 0 resolves to one domain per hardware thread.
+void BM_Lscratchc4096(benchmark::State& state, std::uint32_t domains) {
+  harness::Scenario s;
+  s.nprocs = 4096;
+  s.procs_per_node = 16;
+  s.ior.segment_count = 2;
+  s.ior.hints.driver = mpiio::Driver::ad_lustre;
+  s.ior.hints.striping_factor = 160;
+  s.ior.hints.striping_unit = 64_MiB;
+  s.platform.sim_domains = domains;
+  for (auto _ : state) {
+    const auto obs = harness::run_scenario(s, 0x4096);
+    benchmark::DoNotOptimize(obs.total_mbps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Lscratchc4096, domains_1, 1u)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_Lscratchc4096, domains_auto, 0u)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

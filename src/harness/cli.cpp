@@ -262,6 +262,18 @@ FlagTable scenario_flags(Scenario& scenario, RunPlan& plan, unsigned& threads) {
                   parse_event_queue_policy("--event_queue", text);
             });
   table.alias("--event-queue");
+  table.add("--sim_domains", "N",
+            "simulation domains per run: 1 = one engine thread, N >= 2 "
+            "shards the OSS across N-1 worker threads, 0 = auto (one per "
+            "hardware thread); results are bit-identical at any value",
+            [&scenario](std::string_view text) {
+              const std::uint64_t v = parse_uint("--sim_domains", text);
+              if (v > 0xFFFFFFFFull) {
+                throw UsageError("--sim_domains: value out of range");
+              }
+              scenario.platform.sim_domains = static_cast<std::uint32_t>(v);
+            });
+  table.alias("--sim-domains");
   table.bind_bytes("--sched_quantum", scenario.platform.oss_sched.quantum,
                    "job_fair deficit quantum per round-robin visit");
   table.add("--sched_slots", "N",

@@ -27,6 +27,16 @@ struct PointResult {
   ConfidenceInterval ci;           // 95% Student-t over samples
 };
 
+/// How a RunSet was executed: worker threads the runner actually spawned,
+/// engine threads inside each run (sharded domains), and the hardware
+/// thread count that bounded the product. Pure provenance — never feeds
+/// back into results, which are thread-count-independent by construction.
+struct RunProvenance {
+  unsigned rep_threads = 1;
+  unsigned domain_threads = 1;
+  unsigned hardware_threads = 1;
+};
+
 /// Structured results of one plan execution.
 class RunSet {
  public:
@@ -37,10 +47,16 @@ class RunSet {
   const PointResult& point(std::size_t i) const;
   std::size_t size() const { return points_.size(); }
 
+  void set_provenance(RunProvenance p) { provenance_ = p; }
+  const RunProvenance& provenance() const { return provenance_; }
+
   /// One CSV row per repetition: axis coordinates, repetition index, seed,
   /// and the headline metric with full round-trip precision. Deterministic
   /// for a given plan regardless of the thread count that produced it.
-  std::string to_csv() const;
+  /// `with_provenance` prepends a `#`-comment header recording the thread
+  /// counts — off by default so byte-compare of serial vs parallel output
+  /// (and any stored fixture) stays meaningful.
+  std::string to_csv(bool with_provenance = false) const;
 
   /// Per-point summary: coordinates, mean, CI bounds, sample count.
   TextTable summary_table(int precision = 0) const;
@@ -48,18 +64,23 @@ class RunSet {
  private:
   std::vector<std::string> axis_names_;
   std::vector<PointResult> points_;
+  RunProvenance provenance_;
 };
 
 class ParallelRunner {
  public:
-  /// threads == 0: use std::thread::hardware_concurrency().
+  /// threads == 0: use the hardware thread count, resolved once per
+  /// process (sim::hardware_threads()).
   explicit ParallelRunner(unsigned threads = 0);
 
   unsigned threads() const { return threads_; }
 
   /// Expand the plan over `base` and run every (point, repetition) task.
   /// Throws the first task exception after all workers stop; partial
-  /// results are discarded.
+  /// results are discarded. When the base scenario runs sharded, the
+  /// worker pool is clamped so rep-threads x domain-threads stays within
+  /// the hardware thread budget; the effective counts are recorded in the
+  /// RunSet's provenance.
   RunSet run(const Scenario& base, const RunPlan& plan) const;
 
  private:

@@ -93,6 +93,14 @@ struct PlatformParams {
   /// return once accepted, with up to this many bytes still in flight.
   Bytes client_writeback_bytes = 32_MiB;
 
+  // -- execution ----------------------------------------------------------
+  /// Simulation domains (worker threads) for sharded runs: clients plus
+  /// per-OSS shards synchronised by conservative lookahead (DESIGN.md §12).
+  /// 1 = single engine (the default), 0 = auto (one per hardware thread),
+  /// both clamped to 1 + oss_count. Results are bit-for-bit identical at
+  /// any value; this knob only trades threads for wall-clock time.
+  std::uint32_t sim_domains = 1;
+
   std::uint32_t total_cores() const { return nodes * cores_per_node; }
 };
 

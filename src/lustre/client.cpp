@@ -62,20 +62,14 @@ sim::Task Client::rpc(OstIndex ost, ObjectId object, Bytes object_offset,
     end_span();
     co_return;
   }
-  const Seconds latency = fs_->params().rpc_latency;
   co_await proc_pipe_->transfer(bytes);
   if (node_nic_ != nullptr) co_await node_nic_->transfer(bytes);
   co_await fs_->fabric().transfer(bytes);
-  co_await eng_->delay(latency);
-  // Arrival at the OSS: the request scheduler decides when this RPC may
-  // proceed to link + disk service (fifo grants instantly, with no
-  // engine events — the pre-scheduler data path, bit for bit).
-  sched::Scheduler& sched = fs_->sched_for_ost(ost);
-  co_await sched.admit(job_, bytes);
-  co_await fs_->oss_pipe_for_ost(ost).transfer(bytes);
-  co_await fs_->ost_disk(ost).submit(object, object_offset, bytes, is_write);
-  sched.complete(job_, bytes);
-  co_await eng_->delay(latency);  // reply
+  // The server half — request hop, scheduler admission, OSS pipe, disk
+  // service, reply hop — lives in the FileSystem so sharded runs can
+  // execute it on the OSS's own domain.
+  co_await fs_->oss_round_trip(job_, ost, object, object_offset, bytes,
+                               is_write);
   if (fs_->ost_failed(ost) && state->err == Errno::ok) state->err = Errno::eio;
   rpc_slots_.release();
   end_span();

@@ -1,0 +1,185 @@
+#include "sim/domain.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace pfsc::sim {
+
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// Spin this many iterations before yielding the core: windows are tens of
+// microseconds of work, so peers normally arrive within the spin budget,
+// but an oversubscribed machine (rep-threads x domain-threads) must not
+// livelock against the scheduler.
+constexpr std::uint32_t kSpinsBeforeYield = 4096;
+
+}  // namespace
+
+void SpinBarrier::spin_until(bool next) {
+  std::uint32_t spins = 0;
+  while (sense_.load(std::memory_order_acquire) != next) {
+    if (++spins >= kSpinsBeforeYield) {
+      std::this_thread::yield();
+    } else {
+      cpu_relax();
+    }
+  }
+}
+
+ShardSet::ShardSet(std::size_t domains, Seconds lookahead,
+                   EventQueuePolicy policy)
+    : lookahead_(lookahead),
+      edges_(domains * domains),
+      handlers_(domains),
+      delivered_(domains),
+      barrier_(static_cast<std::uint32_t>(domains)),
+      next_t_(domains) {
+  PFSC_REQUIRE(domains >= 1, "ShardSet: need at least one domain");
+  PFSC_REQUIRE(lookahead > 0.0, "ShardSet: lookahead must be positive");
+  engines_.reserve(domains);
+  for (std::size_t d = 0; d < domains; ++d) {
+    engines_.push_back(std::make_unique<Engine>(policy));
+    if (domains > 1) {
+      engines_.back()->set_trace_track_name("engine.d" + std::to_string(d));
+    }
+  }
+  // Each Engine's constructor installed its own arena as the thread's
+  // current one; settle on domain 0's so everything the caller builds
+  // before run() (file system, runtime, job tasks — all domain-0 work)
+  // allocates frames there. Worker threads adopt their own engine's arena
+  // inside worker_loop.
+  (void)engines_.front()->make_arena_current();
+}
+
+ShardSet::~ShardSet() {
+  // Destroy engines newest-first: each Engine's destructor restores the
+  // thread-current arena to what it was when that engine was built, and
+  // that unwinding is only correct in LIFO order (vector order would leave
+  // the thread pointing at a destroyed sibling's arena).
+  while (!engines_.empty()) engines_.pop_back();
+}
+
+void ShardSet::set_handler(std::size_t dst, Handler h) {
+  PFSC_ASSERT(dst < handlers_.size());
+  handlers_[dst] = std::move(h);
+}
+
+void ShardSet::post(std::uint32_t src, std::uint32_t dst, Message m) {
+  PFSC_ASSERT(src < engines_.size() && dst < engines_.size() && src != dst);
+  m.deliver_t = m.sent_at + lookahead_;
+  edge(src, dst).post(m);
+}
+
+void ShardSet::note_failure() noexcept {
+  // First failure wins; later ones (usually knock-on effects of the same
+  // root cause) are dropped. The claim flag serialises the exception_ptr
+  // write; failed_ makes every domain finish its current round as a no-op
+  // and lets reduce() end the run at the next barrier.
+  if (!error_claimed_.exchange(true, std::memory_order_acq_rel)) {
+    first_error_ = std::current_exception();
+  }
+  failed_.store(true, std::memory_order_release);
+}
+
+void ShardSet::reduce() {
+  Seconds t = std::numeric_limits<double>::infinity();
+  for (const Seconds nt : next_t_) t = std::min(t, nt);
+  done_ = failed_.load(std::memory_order_acquire) ||
+          t == std::numeric_limits<double>::infinity();
+  window_end_ = t + lookahead_;
+  if (!done_) ++windows_;
+}
+
+void ShardSet::worker_loop(std::size_t d) {
+  Engine& eng = *engines_[d];
+  FrameArena* prev = eng.make_arena_current();
+  Handler& deliver = handlers_[d];
+  bool sense = false;
+  const std::size_t n = engines_.size();
+  for (;;) {
+    // Merge phase: drain every inbound edge into this domain's queue.
+    // Messages were posted in the peers' previous run phase; barrier 2 of
+    // that round ordered those writes before these reads.
+    try {
+      if (!failed_.load(std::memory_order_relaxed)) {
+        for (std::size_t s = 0; s < n; ++s) {
+          Mailbox& box = edge(s, d);
+          if (box.pending().empty()) continue;
+          PFSC_REQUIRE(deliver != nullptr,
+                       "ShardSet: message for a domain without a handler");
+          for (const Message& m : box.pending()) {
+            deliver(eng, static_cast<std::uint32_t>(s), m);
+          }
+          delivered_[d] += box.pending().size();
+          box.pending().clear();
+        }
+      }
+    } catch (...) {
+      note_failure();
+    }
+    next_t_[d] = eng.next_event_time();
+    barrier_.arrive_and_wait(sense, [this] { reduce(); });
+    if (done_) break;
+    // Run phase: dispatch strictly before the window end, posting
+    // outbound messages to the edge mailboxes as a side effect.
+    try {
+      if (!failed_.load(std::memory_order_relaxed)) {
+        (void)eng.run_window(window_end_);
+      }
+    } catch (...) {
+      note_failure();
+    }
+    barrier_.arrive_and_wait(sense);
+  }
+  FrameArena::exchange_current(prev);
+}
+
+void ShardSet::run() {
+  const std::size_t n = engines_.size();
+  if (n == 1) {
+    engines_[0]->run();
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(n - 1);
+  for (std::size_t d = 1; d < n; ++d) {
+    workers.emplace_back([this, d] { worker_loop(d); });
+  }
+  worker_loop(0);
+  for (std::thread& w : workers) w.join();
+  if (first_error_ != nullptr) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+std::uint64_t ShardSet::messages_delivered() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : delivered_) total += d;
+  return total;
+}
+
+std::size_t resolve_domains(std::uint32_t requested, std::uint32_t shards) {
+  std::size_t d = requested != 0 ? requested : hardware_threads();
+  d = std::max<std::size_t>(d, 1);
+  return std::min(d, static_cast<std::size_t>(shards) + 1);
+}
+
+unsigned hardware_threads() {
+  static const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  return n;
+}
+
+}  // namespace pfsc::sim

@@ -1,0 +1,170 @@
+// Sharded multi-domain simulation: N engines, N threads, one clock.
+//
+// A ShardSet partitions one simulation across `domains` sim::Engine
+// instances, each dispatching on its own worker thread. Cross-domain
+// interactions travel as timestamped messages through per-edge mailboxes
+// (mailbox.hpp) and are synchronised by conservative lookahead: with L the
+// minimum cross-domain latency (the RPC link latency in the Lustre model),
+// a message sent at time u is delivered at u + L, so after a global
+// barrier at time T every domain may safely dispatch the half-open window
+// [T, T + L) — no message produced inside the window can be delivered
+// before T + L. That exclusive window end is the entire correctness
+// argument (DESIGN.md §12 spells it out):
+//
+//   round k:  T = min over domains of next-event time   (barrier 1)
+//             every domain dispatches events with t < T + L, appending
+//             outbound messages to its edges' mailboxes  (run phase)
+//             all domains arrive                         (barrier 2)
+//             every domain drains its inbound edges into its queue
+//             (merge phase of round k+1)
+//
+// The barrier doubles as the null-message credit of classic conservative
+// PDES: publishing a domain's next-event time is exactly the "I promise
+// nothing before T" null message, collapsed to one min-reduction because
+// every edge shares the same lookahead L.
+//
+// Determinism: deliveries enter the destination queue with the full
+// (deliver_t, sent_at, 1 + src_domain, edge_seq) key — see ScheduledEvent
+// — so the dispatch order, and therefore every golden, is bit-for-bit
+// identical to the single-engine run at any domain count. The golden and
+// property tests pin this at 1/2/8 domains.
+//
+// Threading: domain 0 runs on the caller's thread, domains 1..N-1 on
+// std::threads spawned by run(). All mailbox and next-event state is
+// accessed in temporally disjoint phases separated by the two barriers,
+// whose acquire/release atomics provide the happens-before edges — no
+// mutexes anywhere on the hot path (the TSan CI job runs the sharded
+// determinism tests to keep it that way).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "support/units.hpp"
+
+namespace pfsc::sim {
+
+/// Sense-reversing centralised spin barrier. Each participant keeps its
+/// own `sense` flag (flipped per crossing); the last arriver may run a
+/// completion hook while every peer is still spinning, which is how the
+/// ShardSet folds the min-reduction into barrier 1 instead of paying a
+/// third rendezvous per round.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties) : parties_(parties) {}
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  template <typename OnLast>
+  void arrive_and_wait(bool& sense, OnLast&& on_last) {
+    const bool next = !sense;
+    sense = next;
+    // acq_rel: the add releases this thread's phase writes to the last
+    // arriver and (for the last arriver) acquires every peer's.
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      on_last();  // runs exclusively: all peers are spinning on sense_
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(next, std::memory_order_release);
+    } else {
+      spin_until(next);
+    }
+  }
+
+  void arrive_and_wait(bool& sense) {
+    arrive_and_wait(sense, [] {});
+  }
+
+ private:
+  void spin_until(bool next);
+
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+/// The engines, mailboxes and window-barrier loop of one sharded run. See
+/// the file header for the protocol; lustre::FileSystem is the layer that
+/// decides the partition and speaks the message protocol over it.
+class ShardSet {
+ public:
+  /// Called during the destination's merge phase for every delivered
+  /// message; must schedule it into `eng` via schedule_message /
+  /// spawn_message using the message's (deliver_t, sent_at, seq) and the
+  /// source domain index.
+  using Handler =
+      std::function<void(Engine& eng, std::uint32_t src, const Message& m)>;
+
+  /// `lookahead` must be positive: it is both the delivery latency and the
+  /// window width, and a zero-width window could never retire an event.
+  ShardSet(std::size_t domains, Seconds lookahead, EventQueuePolicy policy);
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+  ~ShardSet();
+
+  std::size_t domains() const { return engines_.size(); }
+  Engine& domain(std::size_t d) { return *engines_[d]; }
+  Seconds lookahead() const { return lookahead_; }
+
+  /// Install domain `dst`'s delivery handler (required before run() for
+  /// every domain that ever receives a message).
+  void set_handler(std::size_t dst, Handler h);
+
+  /// Post `m` from `src` to `dst` during src's run phase. Fills in
+  /// deliver_t = m.sent_at + lookahead and the per-edge seq; the caller
+  /// sets sent_at to its engine's now() and the payload fields.
+  void post(std::uint32_t src, std::uint32_t dst, Message m);
+
+  /// Run every domain to completion (all queues drained, all mailboxes
+  /// empty). Rethrows the first failure after every worker has parked.
+  void run();
+
+  // -- diagnostics --------------------------------------------------------
+  /// Synchronisation rounds executed by run().
+  std::uint64_t windows() const { return windows_; }
+  /// Messages delivered across all edges.
+  std::uint64_t messages_delivered() const;
+
+ private:
+  Mailbox& edge(std::size_t src, std::size_t dst) {
+    return edges_[src * engines_.size() + dst];
+  }
+  void worker_loop(std::size_t d);
+  /// Barrier-1 completion hook: min-reduce next-event times into the next
+  /// window end; runs exclusively while every domain spins.
+  void reduce();
+  void note_failure() noexcept;
+
+  const Seconds lookahead_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<Mailbox> edges_;  // [src * domains + dst]
+  std::vector<Handler> handlers_;
+  std::vector<std::uint64_t> delivered_;  // per destination domain
+
+  SpinBarrier barrier_;
+  std::vector<Seconds> next_t_;  // published before barrier 1
+  Seconds window_end_ = 0.0;     // written by reduce(), read after barrier 1
+  bool done_ = false;            // likewise
+  std::uint64_t windows_ = 0;
+
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;  // guarded by failed_ + barrier ordering
+  std::atomic<bool> error_claimed_{false};
+};
+
+/// Resolve a requested --sim_domains value: 0 means auto (one domain per
+/// hardware thread), anything else is taken literally; both are clamped to
+/// [1, 1 + shards] since more domains than OSS shards plus the client
+/// domain cannot be populated.
+std::size_t resolve_domains(std::uint32_t requested, std::uint32_t shards);
+
+/// std::thread::hardware_concurrency() resolved once per process (it is a
+/// syscall on some platforms, and the runner consults it per run).
+unsigned hardware_threads();
+
+}  // namespace pfsc::sim

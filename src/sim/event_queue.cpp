@@ -41,8 +41,11 @@ LadderQueue::LadderQueue() : buckets_(kMinBuckets), mask_(kMinBuckets - 1) {}
 
 void LadderQueue::push(const ScheduledEvent& ev) {
   // Immediate wakeups (t no later than the last pop) keep arriving in
-  // (t, seq) order — see the today_ member comment — so they bypass the
-  // calendar entirely: O(1) ring append, O(1) ring pop.
+  // key order — see the today_ member comment — so they bypass the
+  // calendar entirely: O(1) ring append, O(1) ring pop. Cross-domain
+  // deliveries can never land here: conservative lookahead puts them
+  // strictly after the window that sent them (domain.hpp), hence after
+  // every pop so far.
   if (ev.t <= t_floor_) {
     today_.push_back(ev);
     ++size_;
@@ -52,7 +55,7 @@ void LadderQueue::push(const ScheduledEvent& ev) {
   // An event timed before the cursor's window (possible right after a
   // direct-search jump) joins the cursor bucket; the window test below is
   // by vbucket(t), so it still qualifies immediately and pops in correct
-  // (t, seq) order.
+  // key order.
   std::uint64_t vb = vbucket(ev.t);
   if (vb < cur_vb_) vb = cur_vb_;
   Bucket& b = buckets_[vb & mask_];

@@ -1,10 +1,11 @@
 // Pluggable pending-event queues for the simulation engine.
 //
-// The engine dispatches the globally minimal (time, seq) event on every
-// step, so any queue that pops in that order is bit-for-bit interchangeable
-// with any other — the implementations below differ only in cost:
+// The engine dispatches the globally minimal (t, at, src, seq) event on
+// every step (see ScheduledEvent for the key), so any queue that pops in
+// that order is bit-for-bit interchangeable with any other — the
+// implementations below differ only in cost:
 //
-//  * BinaryHeapQueue — std::priority_queue over (t, seq): O(log n) per
+//  * BinaryHeapQueue — std::priority_queue over the key: O(log n) per
 //    push/pop. The reference implementation; simple, and what the engine
 //    shipped with historically.
 //  * LadderQueue     — calendar queue (Brown '88) of min-heap buckets with
@@ -19,9 +20,9 @@
 //    This is the queue the DES literature recommends once event counts
 //    reach the tens of millions a 4,096-rank PLFS run executes.
 //
-// Determinism: pop() always returns the minimal (t, seq) pending event, so
-// every implementation yields the same dispatch sequence; the golden
-// regression tests and the heap-vs-ladder property test pin this.
+// Determinism: pop() always returns the minimal (t, at, src, seq) pending
+// event, so every implementation yields the same dispatch sequence; the
+// golden regression tests and the heap-vs-ladder property test pin this.
 #pragma once
 
 #include <coroutine>
@@ -34,12 +35,28 @@
 
 namespace pfsc::sim {
 
-/// One scheduled resume. `seq` is the engine-wide schedule order: unique,
-/// monotonically increasing, and the FIFO tie-break for equal timestamps.
+/// One scheduled resume, ordered by the key (t, at, src, seq).
+///
+/// `at` is the simulated time at which the wakeup was *scheduled* (the
+/// engine's now() during the schedule call) and `src` identifies where it
+/// came from: 0 for native events scheduled by this engine's own dispatch
+/// loop, 1 + source-domain for messages delivered from another domain of a
+/// sharded run (sim/domain.hpp). `seq` is the schedule order *within* one
+/// source: the engine-wide counter for native events, the per-edge mailbox
+/// counter for messages — unique and monotone per source, so (src, seq)
+/// is globally unique.
+///
+/// For a single-engine run every event has src == 0 and `at` is monotone
+/// in `seq` (simulated time never goes backwards between schedule calls),
+/// so (t, at, src, seq) orders exactly like the historical (t, seq) key —
+/// the widened key is bit-for-bit invisible until domains enter the
+/// picture.
 struct ScheduledEvent {
   Seconds t = 0.0;
+  Seconds at = 0.0;
   std::uint64_t seq = 0;
   std::coroutine_handle<> h;
+  std::uint32_t src = 0;
 };
 
 enum class EventQueuePolicy {
@@ -49,17 +66,18 @@ enum class EventQueuePolicy {
 
 const char* event_queue_policy_name(EventQueuePolicy policy);
 
-/// Interface for the engine's pending-event set, ordered by (t, seq).
+/// Interface for the engine's pending-event set, ordered by the
+/// (t, at, src, seq) key.
 class EventQueue {
  public:
   virtual ~EventQueue() = default;
 
   virtual void push(const ScheduledEvent& ev) = 0;
-  /// The minimal (t, seq) event, or nullptr when empty. The pointer is
+  /// The minimal pending event, or nullptr when empty. The pointer is
   /// valid until the next push/pop. Non-const: implementations may advance
   /// internal cursors while locating the minimum.
   virtual const ScheduledEvent* peek() = 0;
-  /// Remove and return the minimal (t, seq) event. Requires !empty().
+  /// Remove and return the minimal pending event. Requires !empty().
   virtual ScheduledEvent pop() = 0;
 
   virtual bool empty() const = 0;
@@ -89,6 +107,8 @@ class BinaryHeapQueue final : public EventQueue {
   struct Later {
     bool operator()(const ScheduledEvent& a, const ScheduledEvent& b) const {
       if (a.t != b.t) return a.t > b.t;
+      if (a.at != b.at) return a.at > b.at;
+      if (a.src != b.src) return a.src > b.src;
       return a.seq > b.seq;
     }
   };
@@ -118,10 +138,12 @@ class LadderQueue final : public EventQueue {
   struct Later {
     bool operator()(const ScheduledEvent& a, const ScheduledEvent& b) const {
       if (a.t != b.t) return a.t > b.t;
+      if (a.at != b.at) return a.at > b.at;
+      if (a.src != b.src) return a.src > b.src;
       return a.seq > b.seq;
     }
   };
-  using Bucket = std::vector<ScheduledEvent>;  // maintained as a min-heap on (t, seq)
+  using Bucket = std::vector<ScheduledEvent>;  // min-heap on (t, at, src, seq)
 
   /// Virtual bucket index of time `t` (the bucket array wraps this by
   /// `mask_`, one wrap per "year"). Placement and the cursor's window test
@@ -159,9 +181,10 @@ class LadderQueue final : public EventQueue {
 
   // "Today" ring: events pushed with t <= the last popped time (the
   // schedule-at-now wakeups joins/semaphores/pipes produce constantly).
-  // Their (t, seq) arrive already sorted — t is pinned between now and the
-  // last popped time and seq grows monotonically — so a flat ring holds
-  // them in pop order with no hashing or heap ops at all.
+  // They arrive already sorted — t and at are pinned to the engine's now
+  // and (src, seq) grow monotonically (only native events qualify; see
+  // push) — so a flat ring holds them in pop order with no hashing or
+  // heap ops at all.
   std::vector<ScheduledEvent> today_;
   std::size_t today_head_ = 0;
   double t_floor_ = 0.0;  // time of the last popped event (monotone)

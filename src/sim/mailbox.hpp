@@ -1,0 +1,70 @@
+// Per-edge mailboxes for sharded runs (sim/domain.hpp).
+//
+// A Mailbox is the message channel for ONE directed domain edge
+// (src -> dst). The window-barrier protocol makes it single-writer,
+// single-reader, and *temporally disjoint*: the source domain appends
+// during its run phase, both sides pass a barrier, and the destination
+// domain drains during its merge phase — producer and consumer never touch
+// the vector concurrently, so a plain std::vector with no locks (and no
+// atomics beyond the barrier itself) is race-free. TSan agrees: every
+// append happens-before the barrier's release, every drain happens-after
+// its acquire.
+//
+// Messages carry the full determinism key of the send: `sent_at` (the
+// sender's clock) plus the per-edge `seq` the mailbox assigns in post
+// order. The destination engine turns them into (deliver_t, sent_at,
+// 1 + src, seq) queue entries — see ScheduledEvent in event_queue.hpp for
+// why that reproduces the single-engine dispatch order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace pfsc::sim {
+
+/// One cross-domain message. The payload fields are owned by the layer
+/// speaking the protocol (lustre::FileSystem for the RPC round trip); the
+/// sim layer only defines the timing/identity header.
+struct Message {
+  // -- header (filled by Mailbox::post / ShardSet) -----------------------
+  Seconds deliver_t = 0.0;  ///< delivery time: sent_at + lookahead
+  Seconds sent_at = 0.0;    ///< sender's clock at the send
+  std::uint64_t seq = 0;    ///< per-edge post order, assigned by post()
+
+  // -- payload (protocol-defined) ----------------------------------------
+  std::uint8_t kind = 0;           ///< protocol opcode
+  std::coroutine_handle<> resume;  ///< a suspended frame riding the message
+  std::uint64_t a = 0;             ///< protocol words (object id, offset...)
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  bool flag = false;
+};
+
+/// The message channel for one directed domain edge. See the file header
+/// for the single-writer/single-reader protocol that keeps it lock-free.
+class Mailbox {
+ public:
+  /// Append (run phase, source domain only). Assigns the per-edge seq;
+  /// 1-based like the engine's native counter.
+  void post(Message m) {
+    m.seq = ++next_seq_;
+    pending_.push_back(m);
+  }
+
+  /// The batch to drain (merge phase, destination domain only).
+  std::vector<Message>& pending() { return pending_; }
+
+  /// Messages posted over the edge's lifetime (diagnostics).
+  std::uint64_t posted() const { return next_seq_; }
+
+ private:
+  std::vector<Message> pending_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pfsc::sim

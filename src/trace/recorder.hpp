@@ -105,6 +105,11 @@ struct TraceConfig {
   /// Engine dispatch spans are batched: one span per this many dispatched
   /// events, so the engine layer cannot drown every other category.
   std::uint32_t engine_sample_every = 1024;
+  /// Nonzero: category mask override (cat_bit combinations) replacing the
+  /// mask the mode implies. The sharded determinism tests use it to drop
+  /// Cat::engine, whose per-domain dispatch batching is the one layer that
+  /// legitimately differs across --sim_domains values.
+  unsigned categories = 0;
 };
 
 // -- recorder ---------------------------------------------------------------
@@ -116,7 +121,9 @@ class Recorder {
                     std::uint32_t engine_sample_every =
                         TraceConfig{}.engine_sample_every);
   explicit Recorder(const TraceConfig& cfg)
-      : Recorder(cfg.capacity, trace_categories(cfg.mode),
+      : Recorder(cfg.capacity,
+                 cfg.categories != 0 ? cfg.categories
+                                     : trace_categories(cfg.mode),
                  cfg.engine_sample_every) {}
 
   Recorder(const Recorder&) = delete;

@@ -1,0 +1,185 @@
+// Sharded-run determinism: the whole point of the domain refactor is that
+// --sim_domains only trades threads for wall-clock time, never results.
+// Every test here runs one scenario at 1, 2 and 8 domains and requires the
+// observations — and, where traced, the exported Chrome JSON — to be
+// IDENTICAL, compared with operator== on doubles and bytes, not with
+// tolerances. The engine category is excluded from the traced runs: its
+// dispatch-batch spans are per-engine bookkeeping ("engine.d3" tracks,
+// batch boundaries set by window ends), the one layer that legitimately
+// depends on the partition.
+//
+// These tests are also the designated TSan targets for the sharded code
+// path (see .github/workflows/ci.yml): the window-barrier protocol claims
+// race-freedom by construction, and this is where that claim meets the
+// checker.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "replay/analytics.hpp"
+#include "trace/recorder.hpp"
+
+namespace pfsc {
+namespace {
+
+/// Exact (bitwise) equality over everything a run reports. `what` labels
+/// the domain count under test in failure output.
+void expect_identical(const harness::Observation& base,
+                      const harness::Observation& got, const char* what) {
+  EXPECT_EQ(base.metric, got.metric) << what;
+  EXPECT_EQ(base.total_mbps, got.total_mbps) << what;
+  ASSERT_EQ(base.per_job.size(), got.per_job.size()) << what;
+  for (std::size_t j = 0; j < base.per_job.size(); ++j) {
+    EXPECT_EQ(base.per_job[j].err, got.per_job[j].err) << what << " job " << j;
+    EXPECT_EQ(base.per_job[j].write_time, got.per_job[j].write_time)
+        << what << " job " << j;
+    EXPECT_EQ(base.per_job[j].read_time, got.per_job[j].read_time)
+        << what << " job " << j;
+    EXPECT_EQ(base.per_job[j].total_bytes, got.per_job[j].total_bytes)
+        << what << " job " << j;
+    EXPECT_EQ(base.per_job[j].write_mbps, got.per_job[j].write_mbps)
+        << what << " job " << j;
+    EXPECT_EQ(base.per_job[j].read_mbps, got.per_job[j].read_mbps)
+        << what << " job " << j;
+  }
+  ASSERT_EQ(base.trace_summary.job_bytes.size(),
+            got.trace_summary.job_bytes.size())
+      << what;
+  EXPECT_EQ(base.trace_summary.job_bytes, got.trace_summary.job_bytes) << what;
+  EXPECT_EQ(base.trace_summary.ost_bytes, got.trace_summary.ost_bytes) << what;
+  EXPECT_EQ(base.trace_summary.jain, got.trace_summary.jain) << what;
+}
+
+/// Run `s` at every domain count and compare against the single-engine
+/// observation. Returns the observations for extra per-test checks.
+std::vector<harness::Observation> sweep_domains(harness::Scenario s,
+                                                std::uint64_t seed) {
+  std::vector<harness::Observation> out;
+  for (const std::uint32_t domains : {1u, 2u, 8u}) {
+    s.platform.sim_domains = domains;
+    out.push_back(harness::run_scenario(s, seed));
+  }
+  const std::string label2 = "domains=2";
+  const std::string label8 = "domains=8";
+  expect_identical(out[0], out[1], label2.c_str());
+  expect_identical(out[0], out[2], label8.c_str());
+  return out;
+}
+
+TEST(ShardedDeterminism, MultiJobContention) {
+  harness::Scenario s;
+  s.workload = harness::Workload::multi;
+  s.jobs = 4;
+  s.nprocs = 32;
+  s.procs_per_node = 16;
+  s.ior.segment_count = 4;
+  s.ior.hints.driver = mpiio::Driver::ad_lustre;
+  s.ior.hints.striping_factor = 16;
+  s.ior.hints.striping_unit = 4_MiB;
+  sweep_domains(s, 0x5A4D01);
+}
+
+TEST(ShardedDeterminism, SingleIorJob) {
+  harness::Scenario s;
+  s.nprocs = 64;
+  s.procs_per_node = 8;
+  s.ior.segment_count = 4;
+  s.ior.hints.driver = mpiio::Driver::ad_lustre;
+  s.ior.hints.striping_factor = 32;
+  s.ior.hints.striping_unit = 4_MiB;
+  sweep_domains(s, 0x5A4D02);
+}
+
+TEST(ShardedDeterminism, ProbeWritersPinnedToOneOst) {
+  harness::Scenario s;
+  s.workload = harness::Workload::probe;
+  s.writers = 6;
+  s.bytes_per_writer = 8_MiB;
+  sweep_domains(s, 0x5A4D03);
+}
+
+TEST(ShardedDeterminism, PlfsJobWithNoiseWriters) {
+  harness::Scenario s = harness::Scenario::plfs_ior();
+  s.nprocs = 32;
+  s.procs_per_node = 16;
+  s.ior.segment_count = 2;
+  s.noise.writers = 3;
+  s.noise.bytes_per_writer = 4_MiB;
+  const auto obs = sweep_domains(s, 0x5A4D04);
+  EXPECT_GT(obs[0].metric, 0.0);
+}
+
+TEST(ShardedDeterminism, StaggeredArrivalFleet) {
+  std::vector<harness::JobSpec> jobs;
+  for (int j = 0; j < 3; ++j) {
+    harness::JobSpec spec;
+    spec.kind = harness::JobKind::ior;
+    spec.job_id = static_cast<std::uint32_t>(j);
+    spec.nprocs = 16;
+    spec.arrival = 0.05 * j;
+    spec.ior.segment_count = 2;
+    spec.ior.hints.driver = mpiio::Driver::ad_lustre;
+    spec.ior.hints.striping_factor = 8;
+    spec.ior.hints.striping_unit = 1_MiB;
+    spec.ior.test_file = "/fleet/ior.dat." + std::to_string(j);
+    jobs.push_back(spec);
+  }
+  harness::Scenario s = harness::Scenario::from_jobs(std::move(jobs));
+  s.procs_per_node = 16;
+  const auto obs = sweep_domains(s, 0x5A4D05);
+  // The LASSi-style fleet report is derived from the Observation, so its
+  // JSON must also be byte-identical across domain counts.
+  const std::string base_report =
+      replay::analyze_fleet(obs[0], s.platform).to_json();
+  EXPECT_EQ(base_report, replay::analyze_fleet(obs[1], s.platform).to_json());
+  EXPECT_EQ(base_report, replay::analyze_fleet(obs[2], s.platform).to_json());
+  EXPECT_FALSE(base_report.empty());
+}
+
+// The full-trace export must also be byte-identical: same events, same
+// timestamps, same canonical order, regardless of which thread recorded
+// each one. Cat::engine is masked out (see the file header).
+TEST(ShardedDeterminism, FullTraceJsonBytesIdentical) {
+  harness::Scenario s;
+  s.workload = harness::Workload::multi;
+  s.jobs = 2;
+  s.nprocs = 16;
+  s.procs_per_node = 16;
+  s.ior.segment_count = 2;
+  s.ior.hints.driver = mpiio::Driver::ad_lustre;
+  s.ior.hints.striping_factor = 8;
+  s.ior.hints.striping_unit = 1_MiB;
+  s.trace.mode = trace::TraceMode::full;
+  s.trace.categories = trace::kAllCats & ~trace::cat_bit(trace::Cat::engine);
+  const auto obs = sweep_domains(s, 0x5A4D06);
+  ASSERT_FALSE(obs[0].trace_json.empty());
+  EXPECT_EQ(obs[0].trace_json, obs[1].trace_json) << "domains=2";
+  EXPECT_EQ(obs[0].trace_json, obs[2].trace_json) << "domains=8";
+  EXPECT_EQ(obs[0].trace_summary.recorded_events,
+            obs[2].trace_summary.recorded_events);
+}
+
+// sim_domains = 0 means auto (hardware concurrency, clamped); it must
+// behave like any other value — same results, no surprises.
+TEST(ShardedDeterminism, AutoDomainsMatchesSingle) {
+  harness::Scenario s;
+  s.workload = harness::Workload::multi;
+  s.jobs = 2;
+  s.nprocs = 16;
+  s.procs_per_node = 16;
+  s.ior.segment_count = 2;
+  s.ior.hints.driver = mpiio::Driver::ad_lustre;
+  s.ior.hints.striping_factor = 8;
+  s.ior.hints.striping_unit = 1_MiB;
+  const auto base = harness::run_scenario(s, 0x5A4D07);
+  s.platform.sim_domains = 0;
+  const auto got = harness::run_scenario(s, 0x5A4D07);
+  EXPECT_GT(base.metric, 0.0);
+  expect_identical(base, got, "domains=auto");
+}
+
+}  // namespace
+}  // namespace pfsc

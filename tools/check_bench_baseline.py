@@ -10,7 +10,10 @@ entries:
     benchmark over the heap one) and fails if the ratio drops below
     `min`. These are the primary CI gate: a ratio of two numbers measured
     in the same process on the same machine is stable across runner
-    hardware.
+    hardware. An entry may carry `min_cpus`: when the report's
+    context.num_cpus is below it the gate is skipped with a notice — used
+    for the sharded-engine speedup gates, which need real cores for the
+    domain worker threads before the ratio means anything.
   * "events_per_sec": absolute items_per_second floors, one per benchmark
     name. An entry whose value is the string "bootstrap" always passes and
     prints the measured number so a later run (or `--update`) can freeze
@@ -31,7 +34,7 @@ import sys
 TOLERANCE = 0.15  # fail on >15% regression vs a frozen absolute baseline
 
 
-def load_rates(report_path: str) -> dict:
+def load_report(report_path: str) -> tuple:
     with open(report_path, encoding="utf-8") as f:
         report = json.load(f)
     rates = {}
@@ -40,7 +43,8 @@ def load_rates(report_path: str) -> dict:
             continue
         if "items_per_second" in b:
             rates[b["name"]] = float(b["items_per_second"])
-    return rates
+    num_cpus = int(report.get("context", {}).get("num_cpus", 0))
+    return rates, num_cpus
 
 
 def main() -> int:
@@ -50,7 +54,7 @@ def main() -> int:
         print(__doc__, file=sys.stderr)
         return 2
     report_path, baseline_path = args
-    rates = load_rates(report_path)
+    rates, num_cpus = load_report(report_path)
     with open(baseline_path, encoding="utf-8") as f:
         baseline = json.load(f)
 
@@ -59,6 +63,11 @@ def main() -> int:
 
     for gate in baseline.get("ratios", []):
         num, den = gate["numerator"], gate["denominator"]
+        min_cpus = int(gate.get("min_cpus", 0))
+        if min_cpus and num_cpus < min_cpus:
+            print(f"skip  {num} / {den}: host has {num_cpus} cpus, "
+                  f"gate needs {min_cpus}")
+            continue
         if num not in rates or den not in rates:
             print(f"ratio gate {num} / {den}: benchmark missing from report",
                   file=sys.stderr)
