@@ -59,6 +59,26 @@ trace::TraceMode parse_trace_mode(std::string_view flag, std::string_view text) 
   return mode;
 }
 
+lustre::PlacementKind parse_placement_kind(std::string_view flag,
+                                           std::string_view text) {
+  using lustre::PlacementKind;
+  if (text == "uniform_random") return PlacementKind::uniform_random;
+  if (text == "round_robin") return PlacementKind::round_robin;
+  if (text == "load_aware") return PlacementKind::load_aware;
+  if (text == "node_affine") return PlacementKind::node_affine;
+  bad_value(flag, text,
+            "expected one of: uniform_random, round_robin, load_aware, "
+            "node_affine");
+}
+
+AdmissionPolicy parse_admission_policy(std::string_view flag,
+                                       std::string_view text) {
+  if (text == "always") return AdmissionPolicy::always;
+  if (text == "threshold") return AdmissionPolicy::threshold;
+  if (text == "detune") return AdmissionPolicy::detune;
+  bad_value(flag, text, "expected one of: always, threshold, detune");
+}
+
 long long parse_int(std::string_view flag, std::string_view text) {
   return parse_number<long long>(flag, text, "expected an integer");
 }
@@ -255,6 +275,35 @@ FlagTable scenario_flags(Scenario& scenario, RunPlan& plan, unsigned& threads) {
                   parse_sched_policy("--sched_policy", text);
             });
   table.alias("--sched-policy").alias("--oss_sched_policy");
+  table.add("--placement", "KIND",
+            "MDS OST placement: uniform_random | round_robin | load_aware "
+            "| node_affine",
+            [&scenario](std::string_view text) {
+              scenario.platform.ost_placement =
+                  parse_placement_kind("--placement", text);
+            });
+  table.alias("--ost_placement");
+  table.add("--admission", "POLICY",
+            "fleet admission control: always | threshold | detune",
+            [&scenario](std::string_view text) {
+              scenario.admission.policy =
+                  parse_admission_policy("--admission", text);
+            });
+  table.add("--admit_dload", "X",
+            "admission D_load limit for threshold/detune ('inf' disables)",
+            [&scenario](std::string_view text) {
+              scenario.admission.max_dload =
+                  parse_double("--admit_dload", text);
+            });
+  table.add("--admit_min_stripes", "N",
+            "detune per-file stripe-count floor",
+            [&scenario](std::string_view text) {
+              const std::uint64_t v = parse_uint("--admit_min_stripes", text);
+              if (v == 0 || v > 0xFFFFFFFFull) {
+                throw UsageError("--admit_min_stripes: must be >= 1");
+              }
+              scenario.admission.min_stripes = static_cast<std::uint32_t>(v);
+            });
   table.add("--event_queue", "POLICY",
             "engine pending-event queue: binary_heap | ladder",
             [&scenario](std::string_view text) {

@@ -35,6 +35,10 @@ lustre::sched::SchedPolicy parse_sched_policy(std::string_view flag,
 sim::EventQueuePolicy parse_event_queue_policy(std::string_view flag,
                                                std::string_view text);
 trace::TraceMode parse_trace_mode(std::string_view flag, std::string_view text);
+lustre::PlacementKind parse_placement_kind(std::string_view flag,
+                                           std::string_view text);
+AdmissionPolicy parse_admission_policy(std::string_view flag,
+                                       std::string_view text);
 
 // -- flag table -------------------------------------------------------------
 

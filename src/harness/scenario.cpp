@@ -173,6 +173,10 @@ void Scenario::validate() const {
                "Scenario: trace.interval must be non-negative");
   PFSC_REQUIRE(trace.out.empty() || trace.mode != trace::TraceMode::off,
                "Scenario: trace.out requires trace.mode != off");
+  PFSC_REQUIRE(admission.max_dload > 0.0,
+               "Scenario: admission.max_dload must be positive");
+  PFSC_REQUIRE(admission.min_stripes >= 1,
+               "Scenario: admission.min_stripes must be >= 1");
   if (!job_list.empty()) {
     std::set<lustre::sched::JobId> ids;
     bool any_ranks = false;
@@ -508,7 +512,8 @@ void collect_parents(const std::string& path, std::vector<std::string>& out) {
 sim::Task fleet_rank_main_sync(Rig& rig, const JobPlan& plan,
                                std::vector<JobSlot>& slots, int world_rank,
                                plfs::Plfs* plfs, std::uint64_t seed,
-                               sim::Event* setup_done) {
+                               sim::Event* setup_done,
+                               AdmissionController* admission) {
   mpi::Communicator& world = rig.rt.world();
   const auto color = static_cast<int>(plan.color_of(world_rank));
 
@@ -519,19 +524,35 @@ sim::Task fleet_rank_main_sync(Rig& rig, const JobPlan& plan,
   const auto sr = co_await world.split(world_rank, color, world_rank);
   JobSlot& slot = slots[static_cast<std::size_t>(color)];
   if (slot.spec->kind == JobKind::probe_writer) {
+    // Probe layouts are not stripe-tunable; admission can only delay them.
+    if (admission != nullptr) {
+      if (sr.rank == 0) {
+        (void)co_await admission->admit(*slot.spec);
+        slot.ready->trigger();
+      } else if (!slot.ready->fired()) {
+        co_await slot.ready->wait();
+      }
+    }
     co_await probe_writer_body(rig, slot, sr.rank, rig.rt.client(world_rank),
                                seed);
+    if (admission != nullptr && slot.finished()) admission->finished(*slot.spec);
     co_return;
   }
   if (sr.rank == 0) {
+    ior::Config cfg = slot.spec->ior;
+    if (admission != nullptr) {
+      const std::uint32_t detuned = co_await admission->admit(*slot.spec);
+      if (detuned != 0) cfg.hints.striping_factor = detuned;
+    }
     slot.job = std::make_unique<ior::IorJob>(
-        *sr.comm, rig.fs, slot.spec->ior,
+        *sr.comm, rig.fs, std::move(cfg),
         slot.spec->kind == JobKind::plfs ? plfs : nullptr);
     slot.ready->trigger();
   } else if (!slot.ready->fired()) {
     co_await slot.ready->wait();
   }
   co_await slot.job->run_rank(sr.rank, rig.rt.client(world_rank));
+  if (admission != nullptr && slot.finished()) admission->finished(*slot.spec);
 }
 
 /// Free-running rank main: any positive arrival disables the global
@@ -540,8 +561,9 @@ sim::Task fleet_rank_main_sync(Rig& rig, const JobPlan& plan,
 /// whatever state the earlier ones left it).
 sim::Task fleet_rank_main_staggered(Rig& rig, std::vector<JobSlot>& slots,
                                     std::size_t color, int local_rank,
-                                    int world_rank, std::uint64_t seed,
-                                    sim::Event* setup_done) {
+                                    int world_rank, plfs::Plfs* plfs,
+                                    std::uint64_t seed, sim::Event* setup_done,
+                                    AdmissionController* admission) {
   JobSlot& slot = slots[color];
   if (setup_done != nullptr && !setup_done->fired()) {
     co_await setup_done->wait();
@@ -549,12 +571,32 @@ sim::Task fleet_rank_main_staggered(Rig& rig, std::vector<JobSlot>& slots,
   if (slot.spec->arrival > 0.0) {
     co_await rig.eng.delay(slot.spec->arrival);
   }
+  // Under admission control the job's IorJob is built lazily by local rank
+  // 0 once the controller releases it (the detuned stripe hint must be
+  // known first); without it the pre-built job is used untouched, keeping
+  // the historical event sequence bit for bit.
+  if (admission != nullptr) {
+    if (local_rank == 0) {
+      const std::uint32_t detuned = co_await admission->admit(*slot.spec);
+      if (slot.spec->kind != JobKind::probe_writer) {
+        ior::Config cfg = slot.spec->ior;
+        if (detuned != 0) cfg.hints.striping_factor = detuned;
+        slot.job = std::make_unique<ior::IorJob>(
+            *slot.comm, rig.fs, std::move(cfg),
+            slot.spec->kind == JobKind::plfs ? plfs : nullptr);
+      }
+      slot.ready->trigger();
+    } else if (!slot.ready->fired()) {
+      co_await slot.ready->wait();
+    }
+  }
   if (slot.spec->kind == JobKind::probe_writer) {
     co_await probe_writer_body(rig, slot, local_rank,
                                rig.rt.client(world_rank), seed);
-    co_return;
+  } else {
+    co_await slot.job->run_rank(local_rank, rig.rt.client(world_rank));
   }
-  co_await slot.job->run_rank(local_rank, rig.rt.client(world_rank));
+  if (admission != nullptr && slot.finished()) admission->finished(*slot.spec);
 }
 
 /// Fold one probe job's per-writer outcomes into an ior::Result so fleet
@@ -580,6 +622,13 @@ Observation run_fleet(const Scenario& s, JobPlan plan, std::uint64_t seed) {
       plfs = std::make_unique<plfs::Plfs>(rig.fs);
     }
   }
+  // `always` builds no controller at all: the null pointer keeps every
+  // admission hook a single test and the event sequences untouched.
+  std::unique_ptr<AdmissionController> admission;
+  if (s.admission.policy != AdmissionPolicy::always) {
+    admission = std::make_unique<AdmissionController>(rig.eng, s.admission,
+                                                      s.platform, rig.recorder);
+  }
 
   std::vector<JobSlot> slots(plan.rank_jobs.size());
   for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -594,9 +643,15 @@ Observation run_fleet(const Scenario& s, JobPlan plan, std::uint64_t seed) {
       // Free-running jobs never comm_split, so each gets its own world.
       slots[i].comm = std::make_unique<mpi::Communicator>(
           rig.eng, slots[i].spec->nprocs);
-      slots[i].job = std::make_unique<ior::IorJob>(
-          *slots[i].comm, rig.fs, slots[i].spec->ior,
-          slots[i].spec->kind == JobKind::plfs ? plfs.get() : nullptr);
+      if (admission == nullptr) {
+        slots[i].job = std::make_unique<ior::IorJob>(
+            *slots[i].comm, rig.fs, slots[i].spec->ior,
+            slots[i].spec->kind == JobKind::plfs ? plfs.get() : nullptr);
+      }
+    }
+    // Gated jobs release their ranks through a per-slot event.
+    if (admission != nullptr && slots[i].ready == nullptr) {
+      slots[i].ready = std::make_unique<sim::Event>(rig.eng);
     }
   }
 
@@ -626,14 +681,15 @@ Observation run_fleet(const Scenario& s, JobPlan plan, std::uint64_t seed) {
   if (plan.synchronized) {
     rig.rt.run_to_completion([&](int world_rank) -> sim::Task {
       return fleet_rank_main_sync(rig, plan, slots, world_rank, plfs.get(),
-                                  seed, setup_done.get());
+                                  seed, setup_done.get(), admission.get());
     });
   } else {
     rig.rt.run_to_completion([&](int world_rank) -> sim::Task {
       const std::size_t color = plan.color_of(world_rank);
       return fleet_rank_main_staggered(rig, slots, color,
                                        world_rank - slots[color].base,
-                                       world_rank, seed, setup_done.get());
+                                       world_rank, plfs.get(), seed,
+                                       setup_done.get(), admission.get());
     });
   }
 
@@ -668,6 +724,7 @@ Observation run_fleet(const Scenario& s, JobPlan plan, std::uint64_t seed) {
   obs.ior.write_mbps = mean;
   obs.metric = mean;
   obs.contention = core::observe(rig.fs.ost_occupancy(files));
+  if (admission != nullptr) obs.admissions = admission->take_records();
   rig.export_bandwidth(obs);
   rig.finish_trace(obs, s, seed);
   return obs;

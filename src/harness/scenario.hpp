@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "harness/admission.hpp"
 #include "hw/platform.hpp"
 #include "ior/ior.hpp"
 #include "ior/probe.hpp"
@@ -153,6 +154,12 @@ struct Scenario {
   /// Deprecated alias: desugars to JobKind::noise entries (see jobs()).
   NoiseSpec noise;  // writers == 0: quiet system
 
+  /// Model-driven admission control for fleet runs (admission.hpp). The
+  /// default `always` is bit-for-bit invisible: no controller is built and
+  /// jobs start exactly as before. Only the fleet route consults this;
+  /// single-job and probe scenarios ignore it.
+  AdmissionConfig admission;
+
   /// > 0: attach a telemetry sampler at this interval and return the
   /// aggregate-bandwidth timeline in Observation::bandwidth.
   Seconds telemetry_interval = 0.0;
@@ -220,6 +227,10 @@ struct Observation {
   ior::ProbeResult probe;
   /// Aggregate-bandwidth timeline when telemetry_interval > 0.
   trace::Series bandwidth;
+
+  /// Admission decisions in release order (empty when scenario.admission is
+  /// `always` — the controller is never constructed then).
+  std::vector<AdmissionRecord> admissions;
 
   // -- event tracing (scenario.trace.mode != off) -------------------------
   /// True when the run carried a trace::Recorder.

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "hw/disk.hpp"
+#include "lustre/placement.hpp"
 #include "lustre/sched/policy.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link.hpp"
@@ -63,6 +64,14 @@ struct PlatformParams {
   /// Constants for the non-fifo scheduling policies (quantum, service
   /// slots, per-job rate, bucket depth).
   lustre::sched::SchedTuning oss_sched{};
+
+  // -- OST placement -------------------------------------------------------
+  /// MDS allocator policy for new-file OST sets. `uniform_random` is the
+  /// paper's lscratchc behaviour (the default, pinned bit-for-bit by the
+  /// golden tests); `load_aware`/`node_affine` act on the contention model
+  /// by spreading live per-OST demand. See lustre/placement.hpp and
+  /// DESIGN.md §13.
+  lustre::PlacementKind ost_placement = lustre::PlacementKind::uniform_random;
 
   // -- servers -----------------------------------------------------------
   std::uint32_t oss_count = 32;

@@ -37,7 +37,13 @@ FileSystem::FileSystem(sim::Engine& eng, hw::PlatformParams params,
     : eng_(&eng),
       shards_(shards),
       params_(std::move(params)),
-      policy_(policy),
+      placement_(make_placement(
+          // The legacy ctor argument keeps working, but an explicit
+          // params.ost_placement wins (the CLI sets only the latter).
+          params_.ost_placement == PlacementKind::uniform_random &&
+                  policy == AllocPolicy::round_robin
+              ? PlacementKind::round_robin
+              : params_.ost_placement)),
       rng_(seed),
       mds_slots_(eng, params_.mds_parallelism) {
   PFSC_REQUIRE(params_.ost_count > 0 && params_.oss_count > 0,
@@ -257,23 +263,13 @@ Result<std::vector<OstIndex>> FileSystem::allocate_osts(
       if (!ost_failed_[idx]) chosen.push_back(idx);
       idx = (idx + 1) % params_.ost_count;
     }
-  } else if (policy_ == AllocPolicy::round_robin) {
-    for (std::uint32_t scanned = 0;
-         chosen.size() < want && scanned < params_.ost_count; ++scanned) {
-      const auto idx = next_rr_ost_;
-      next_rr_ost_ = (next_rr_ost_ + 1) % params_.ost_count;
-      if (!ost_failed_[idx]) chosen.push_back(idx);
-    }
   } else {
-    // Uniform random sample over healthy OSTs.
-    std::vector<OstIndex> healthy;
-    healthy.reserve(params_.ost_count);
-    for (std::uint32_t i = 0; i < params_.ost_count; ++i) {
-      if (!ost_failed_[i]) healthy.push_back(i);
-    }
-    auto picks = rng_.sample_without_replacement(
-        static_cast<std::uint32_t>(healthy.size()), want);
-    for (auto p : picks) chosen.push_back(healthy[p]);
+    // Policy choice (placement.hpp): the default uniform_random policy
+    // reproduces the historical healthy-vector + one-sample rng sequence
+    // bit for bit; the deterministic policies never touch rng_.
+    const PlacementView view{params_.ost_count, &ost_failed_,
+                             &objects_per_ost_};
+    chosen = placement_->choose(want, view, rng_);
   }
   if (chosen.size() < want) return R::failure(Errno::enospc);
   return R::success(std::move(chosen));

@@ -26,6 +26,7 @@
 #include "lustre/errors.hpp"
 #include "lustre/extent_map.hpp"
 #include "lustre/layout.hpp"
+#include "lustre/placement.hpp"
 #include "lustre/sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "sim/link.hpp"
@@ -61,6 +62,10 @@ struct Inode {
   bool has_dir_default = false;
 };
 
+/// Legacy allocator selector, kept for source compatibility: it maps onto
+/// lustre::PlacementKind (placement.hpp), which is the full policy surface
+/// (params.ost_placement). A non-default `ost_placement` wins over the
+/// ctor argument.
 enum class AllocPolicy {
   uniform_random,  // paper's lscratchc behaviour
   round_robin,     // ablation: perfectly even assignment
@@ -179,6 +184,8 @@ class FileSystem {
   std::uint32_t healthy_ost_count() const;
 
   // -- statistics ---------------------------------------------------------
+  /// The effective placement policy allocating new-file OST sets.
+  PlacementKind placement_kind() const { return placement_->kind(); }
   /// Objects currently allocated on each OST.
   std::vector<std::uint64_t> objects_per_ost() const { return objects_per_ost_; }
   /// For the given files: how many of them have >= 1 object on each OST.
@@ -209,7 +216,7 @@ class FileSystem {
   sim::Engine* eng_;
   sim::ShardSet* shards_ = nullptr;
   hw::PlatformParams params_;
-  AllocPolicy policy_;
+  std::unique_ptr<PlacementPolicy> placement_;
   Rng rng_;
   std::shared_ptr<const void> live_ = std::make_shared<int>(0);
 
@@ -224,7 +231,6 @@ class FileSystem {
   std::vector<std::unique_ptr<Inode>> inodes_;  // index = InodeId - 1
   InodeId root_ = kNoInode;
   ObjectId next_object_ = 1;
-  std::uint32_t next_rr_ost_ = 0;
   std::uint64_t files_created_ = 0;
   std::map<std::string, std::vector<OstIndex>, std::less<>> pools_;
 };

@@ -115,11 +115,31 @@ FleetReport analyze_fleet(const harness::Observation& obs,
                                          : 0.0;
     js.risk_ost = client_demand / layout;
 
+    if (!obs.admissions.empty()) {
+      for (const harness::AdmissionRecord& rec : obs.admissions) {
+        if (rec.job_id != spec.job_id) continue;
+        js.admission = harness::admission_action_name(rec.action);
+        js.admit_wait = rec.wait();
+        js.admit_stripes = rec.stripes_after;
+        break;
+      }
+    }
+
     report.total_mbps += js.achieved_mbps;
     achieved_list.push_back(js.achieved_mbps);
     report.jobs.push_back(std::move(js));
   }
   report.jain_fairness = jain(achieved_list);
+
+  report.has_admission = !obs.admissions.empty();
+  for (const harness::AdmissionRecord& rec : obs.admissions) {
+    switch (rec.action) {
+      case harness::AdmissionAction::admitted: ++report.admitted; break;
+      case harness::AdmissionAction::delayed: ++report.delayed; break;
+      case harness::AdmissionAction::detuned: ++report.detuned; break;
+    }
+    report.total_admit_wait += rec.wait();
+  }
 
   std::map<std::string, AppStats> by_app;
   for (const JobStats& js : report.jobs) {
@@ -174,6 +194,13 @@ std::string FleetReport::format_table() const {
                 "fleet: %zu jobs (+%u noise), total %.1f MB/s, jain %.4f\n",
                 jobs.size(), noise_jobs, total_mbps, jain_fairness);
   out << line;
+  if (has_admission) {
+    std::snprintf(line, sizeof line,
+                  "admission: %u admitted, %u delayed, %u detuned, "
+                  "total wait %.3f s\n",
+                  admitted, delayed, detuned, total_admit_wait);
+    out << line;
+  }
   return out.str();
 }
 
@@ -182,7 +209,15 @@ std::string FleetReport::to_json() const {
   out << "{\"fleet\":{\"jobs\":" << jobs.size()
       << ",\"noise_jobs\":" << noise_jobs
       << ",\"total_mbps\":" << fmt_double(total_mbps)
-      << ",\"jain_fairness\":" << fmt_double(jain_fairness) << "},\"apps\":[";
+      << ",\"jain_fairness\":" << fmt_double(jain_fairness);
+  // Emitted only for gated runs, so ungated reports stay byte-identical to
+  // their pre-admission goldens.
+  if (has_admission) {
+    out << ",\"admission\":{\"admitted\":" << admitted
+        << ",\"delayed\":" << delayed << ",\"detuned\":" << detuned
+        << ",\"total_wait\":" << fmt_double(total_admit_wait) << "}";
+  }
+  out << "},\"apps\":[";
   for (std::size_t i = 0; i < apps.size(); ++i) {
     const AppStats& a = apps[i];
     if (i > 0) out << ",";
@@ -207,7 +242,13 @@ std::string FleetReport::to_json() const {
         << ",\"achieved_mbps\":" << fmt_double(j.achieved_mbps)
         << ",\"ideal_mbps\":" << fmt_double(j.ideal_mbps)
         << ",\"slowdown\":" << fmt_double(j.slowdown)
-        << ",\"risk_ost\":" << fmt_double(j.risk_ost) << "}";
+        << ",\"risk_ost\":" << fmt_double(j.risk_ost);
+    if (has_admission) {
+      out << ",\"admission\":\"" << json_escape(j.admission)
+          << "\",\"admit_wait\":" << fmt_double(j.admit_wait)
+          << ",\"admit_stripes\":" << j.admit_stripes;
+    }
+    out << "}";
   }
   out << "]}";
   return out.str();

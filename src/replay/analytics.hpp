@@ -45,6 +45,11 @@ struct JobStats {
   double ideal_mbps = 0.0;
   double slowdown = 1.0;
   double risk_ost = 0.0;
+
+  // -- admission control (empty/zero when the run was not gated) ---------
+  std::string admission;       // "admitted" | "delayed" | "detuned"
+  Seconds admit_wait = 0.0;    // release time minus arrival at the gate
+  std::uint32_t admit_stripes = 0;  // per-file stripes after detuning
 };
 
 /// Per-application aggregate over its jobs.
@@ -66,6 +71,13 @@ struct FleetReport {
   double total_mbps = 0.0;     // sum of per-job headline bandwidth
   double jain_fairness = 1.0;  // Jain's index over per-job achieved MB/s
   unsigned noise_jobs = 0;     // background jobs excluded from the rows
+
+  // -- admission control (Observation::admissions; all zero when off) ----
+  bool has_admission = false;  // the run carried an AdmissionController
+  unsigned admitted = 0;       // released untouched, without waiting
+  unsigned delayed = 0;        // held in the queue before release
+  unsigned detuned = 0;        // released with a reduced stripe count
+  Seconds total_admit_wait = 0.0;  // summed queue wait across all jobs
 
   /// Fixed-width ranked table (one row per application + a fleet footer).
   std::string format_table() const;

@@ -3,6 +3,7 @@
 // and the scenario flag table must actually drive Scenario/RunPlan fields.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -203,6 +204,79 @@ TEST(CliEnumFlags, SchedPolicyParsesOrListsChoices) {
     EXPECT_NE(msg.find("token_bucket"), std::string::npos) << msg;
   }
   EXPECT_EQ(scenario.platform.oss_sched_policy, SchedPolicy::fifo);
+}
+
+TEST(CliEnumFlags, PlacementParsesOrListsChoices) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  using lustre::PlacementKind;
+  std::vector<std::string> good = {"prog", "--placement", "load_aware"};
+  auto argv1 = argv_of(good);
+  table.parse(static_cast<int>(argv1.size()), argv1.data(), 1);
+  EXPECT_EQ(scenario.platform.ost_placement, PlacementKind::load_aware);
+
+  std::vector<std::string> via = {"prog", "--ost_placement", "node_affine"};
+  auto argv2 = argv_of(via);
+  table.parse(static_cast<int>(argv2.size()), argv2.data(), 1);
+  EXPECT_EQ(scenario.platform.ost_placement, PlacementKind::node_affine);
+
+  std::vector<std::string> bad = {"prog", "--placement", "striped"};
+  auto argv3 = argv_of(bad);
+  try {
+    table.parse(static_cast<int>(argv3.size()), argv3.data(), 1);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("uniform_random"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("round_robin"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("load_aware"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("node_affine"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(scenario.platform.ost_placement, PlacementKind::node_affine);
+}
+
+TEST(CliEnumFlags, AdmissionFlagsParseStrictly) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  using harness::AdmissionPolicy;
+  std::vector<std::string> good = {"prog", "--admission", "threshold",
+                                   "--admit_dload", "1.5",
+                                   "--admit_min_stripes", "4"};
+  auto argv1 = argv_of(good);
+  table.parse(static_cast<int>(argv1.size()), argv1.data(), 1);
+  EXPECT_EQ(scenario.admission.policy, AdmissionPolicy::threshold);
+  EXPECT_EQ(scenario.admission.max_dload, 1.5);
+  EXPECT_EQ(scenario.admission.min_stripes, 4u);
+
+  // 'inf' disables the limit without switching the policy back.
+  std::vector<std::string> inf = {"prog", "--admit_dload", "inf"};
+  auto argv2 = argv_of(inf);
+  table.parse(static_cast<int>(argv2.size()), argv2.data(), 1);
+  EXPECT_TRUE(std::isinf(scenario.admission.max_dload));
+
+  std::vector<std::string> bad = {"prog", "--admission", "never"};
+  auto argv3 = argv_of(bad);
+  try {
+    table.parse(static_cast<int>(argv3.size()), argv3.data(), 1);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("always"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("threshold"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("detune"), std::string::npos) << msg;
+  }
+
+  std::vector<std::string> zero = {"prog", "--admit_min_stripes", "0"};
+  auto argv4 = argv_of(zero);
+  EXPECT_THROW(
+      table.parse(static_cast<int>(argv4.size()), argv4.data(), 1),
+      UsageError);
 }
 
 TEST(CliEnumFlags, EventQueueParsesOrListsChoices) {

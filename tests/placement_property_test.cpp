@@ -1,0 +1,281 @@
+// Property tests for the MDS placement policies: seeded random job mixes
+// (create / unlink / fail / restore sequences) checked against
+// policy-independent invariants (set size, validity, no duplicates, only
+// healthy OSTs, per-seed determinism) and the load-aware balance bound —
+// load_aware never leaves any OST with more live stripes than round_robin's
+// maximum plus one on the same operation sequence. A failing case is shrunk
+// to its smallest failing operation prefix before being reported, so the
+// failure message names a minimal (seed, prefix) reproducer (the same
+// convention as sched_property_test.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lustre/placement.hpp"
+#include "support/rng.hpp"
+
+namespace pfsc::lustre {
+namespace {
+
+enum class OpKind : std::uint8_t { create, unlink, fail, restore };
+
+struct Op {
+  OpKind kind = OpKind::create;
+  std::uint32_t want = 1;   // create: stripes requested
+  std::size_t victim = 0;   // unlink: index into live files; fail/restore: OST
+};
+
+struct Case {
+  std::uint32_t ost_count = 8;
+  std::vector<Op> ops;
+};
+
+Case gen_case(std::uint64_t seed) {
+  Rng rng(0x91ACEu ^ (seed * 0x9E3779B97F4A7C15ull));
+  Case c;
+  c.ost_count = 4 + static_cast<std::uint32_t>(rng.uniform(60));
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(60));
+  for (std::size_t i = 0; i < n; ++i) {
+    Op op;
+    const std::uint64_t roll = rng.uniform(10);
+    if (roll < 6) {
+      op.kind = OpKind::create;
+      op.want = 1 + static_cast<std::uint32_t>(
+                        rng.uniform(std::min<std::uint32_t>(c.ost_count, 16)));
+    } else if (roll < 8) {
+      op.kind = OpKind::unlink;
+      op.victim = rng.uniform(64);  // mod live-file count at run time
+    } else if (roll == 8) {
+      op.kind = OpKind::fail;
+      op.victim = rng.uniform(c.ost_count);
+    } else {
+      op.kind = OpKind::restore;
+      op.victim = rng.uniform(c.ost_count);
+    }
+    c.ops.push_back(op);
+  }
+  return c;
+}
+
+/// One policy's world: its own demand/failed state and allocator stream,
+/// mirroring exactly what FileSystem maintains (+1 per chosen OST at
+/// create, -1 at unlink).
+struct World {
+  std::unique_ptr<PlacementPolicy> policy;
+  Rng rng;
+  std::vector<bool> failed;
+  std::vector<std::uint64_t> demand;
+  std::vector<std::vector<OstIndex>> files;  // live files' OST sets
+  std::vector<std::vector<OstIndex>> choices;  // every create's result
+
+  World(PlacementKind kind, std::uint32_t ost_count, std::uint64_t seed)
+      : policy(make_placement(kind)),
+        rng(seed),
+        failed(ost_count, false),
+        demand(ost_count, 0) {}
+
+  std::uint32_t healthy_count() const {
+    return static_cast<std::uint32_t>(
+        std::count(failed.begin(), failed.end(), false));
+  }
+
+  /// Apply one op; returns an error description, empty when the invariants
+  /// hold.
+  std::string apply(const Op& op, std::uint32_t ost_count) {
+    switch (op.kind) {
+      case OpKind::fail:
+        // Never fail the last healthy OST (the allocator pre-checks
+        // healthy_ost_count and we want creates to stay servable).
+        if (healthy_count() > 1) failed[op.victim] = true;
+        return {};
+      case OpKind::restore:
+        failed[op.victim] = false;
+        return {};
+      case OpKind::unlink: {
+        if (files.empty()) return {};
+        const std::size_t at = op.victim % files.size();
+        for (const OstIndex ost : files[at]) --demand[ost];
+        files.erase(files.begin() + static_cast<std::ptrdiff_t>(at));
+        return {};
+      }
+      case OpKind::create:
+        break;
+    }
+    const std::uint32_t want = std::min(op.want, healthy_count());
+    const PlacementView view{ost_count, &failed, &demand};
+    const std::vector<OstIndex> chosen = policy->choose(want, view, rng);
+    choices.push_back(chosen);
+
+    if (chosen.size() != want) {
+      return "chose " + std::to_string(chosen.size()) + " of " +
+             std::to_string(want) + " wanted OSTs";
+    }
+    std::set<OstIndex> dedup;
+    for (const OstIndex ost : chosen) {
+      if (ost >= ost_count) {
+        return "chose out-of-range OST " + std::to_string(ost);
+      }
+      if (failed[ost]) return "chose failed OST " + std::to_string(ost);
+      if (!dedup.insert(ost).second) {
+        return "chose duplicate OST " + std::to_string(ost);
+      }
+    }
+    for (const OstIndex ost : chosen) ++demand[ost];
+    files.push_back(chosen);
+    return {};
+  }
+
+  std::uint64_t max_demand() const {
+    return *std::max_element(demand.begin(), demand.end());
+  }
+};
+
+/// Run the first `len` ops of `c` under `kind`; empty string when every
+/// per-op invariant holds.
+std::string run_case(PlacementKind kind, const Case& c, std::size_t len,
+                     World* out = nullptr) {
+  World w(kind, c.ost_count, 0xBEEF);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (auto err = w.apply(c.ops[i], c.ost_count); !err.empty()) {
+      return "op " + std::to_string(i) + ": " + err;
+    }
+  }
+  if (out != nullptr) *out = std::move(w);
+  return {};
+}
+
+/// Shrink to the smallest failing prefix and report it (the rerun is
+/// deterministic for the same prefix, so the reproducer is exact).
+void report_shrunk(PlacementKind kind, std::uint64_t seed, const Case& c,
+                   const std::string& full_error) {
+  std::size_t n = c.ops.size();
+  std::string err = full_error;
+  for (std::size_t len = 1; len < c.ops.size(); ++len) {
+    const std::string e = run_case(kind, c, len);
+    if (!e.empty()) {
+      n = len;
+      err = e;
+      break;
+    }
+  }
+  ADD_FAILURE() << placement_kind_name(kind) << " seed " << seed
+                << " fails with the first " << n << " of " << c.ops.size()
+                << " ops: " << err;
+}
+
+constexpr PlacementKind kAllKinds[] = {
+    PlacementKind::uniform_random,
+    PlacementKind::round_robin,
+    PlacementKind::load_aware,
+    PlacementKind::node_affine,
+};
+
+TEST(PlacementProperty, EveryKindChoosesValidDistinctHealthySets) {
+  for (const PlacementKind kind : kAllKinds) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+      const Case c = gen_case(seed);
+      const std::string err = run_case(kind, c, c.ops.size());
+      if (!err.empty()) {
+        report_shrunk(kind, seed, c, err);
+        return;
+      }
+    }
+  }
+}
+
+TEST(PlacementProperty, LoadAwareMaxDemandBoundedByRoundRobin) {
+  // The contention-aware policy must actually spread demand: on the same
+  // operation sequence its live max per-OST stripe count never exceeds
+  // round_robin's max by more than one (greedy least-loaded keeps the
+  // demand spread within 1 between unlink disturbances; the +1 absorbs
+  // the cursor-vs-sort phase difference after them).
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const Case c = gen_case(seed);
+    World la(PlacementKind::load_aware, c.ost_count, 0xBEEF);
+    World rr(PlacementKind::round_robin, c.ost_count, 0xBEEF);
+    ASSERT_EQ(run_case(PlacementKind::load_aware, c, c.ops.size(), &la), "");
+    ASSERT_EQ(run_case(PlacementKind::round_robin, c, c.ops.size(), &rr), "");
+    EXPECT_LE(la.max_demand(), rr.max_demand() + 1)
+        << "seed " << seed << ": load_aware max " << la.max_demand()
+        << " vs round_robin max " << rr.max_demand();
+  }
+}
+
+TEST(PlacementProperty, EveryKindIsDeterministicPerSeed) {
+  for (const PlacementKind kind : kAllKinds) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const Case c = gen_case(seed);
+      World a(kind, c.ost_count, 0xBEEF);
+      World b(kind, c.ost_count, 0xBEEF);
+      ASSERT_EQ(run_case(kind, c, c.ops.size(), &a), "");
+      ASSERT_EQ(run_case(kind, c, c.ops.size(), &b), "");
+      ASSERT_EQ(a.choices.size(), b.choices.size());
+      for (std::size_t i = 0; i < a.choices.size(); ++i) {
+        EXPECT_EQ(a.choices[i], b.choices[i])
+            << placement_kind_name(kind) << " seed " << seed << " create "
+            << i << " diverged";
+      }
+    }
+  }
+}
+
+TEST(PlacementProperty, NodeAffineChoosesContiguousHealthyBands) {
+  // node_affine's contract: the chosen set is a contiguous run of the
+  // healthy-OST list (disjointly rentable index bands).
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const Case c = gen_case(seed);
+    World w(PlacementKind::node_affine, c.ost_count, 0xBEEF);
+    std::vector<bool> failed(c.ost_count, false);
+    std::vector<std::uint64_t> demand(c.ost_count, 0);
+    Rng rng(0xBEEF);
+    const auto policy = make_placement(PlacementKind::node_affine);
+    std::vector<std::vector<OstIndex>> files;
+    for (const Op& op : c.ops) {
+      if (op.kind == OpKind::fail) {
+        if (std::count(failed.begin(), failed.end(), false) > 1) {
+          failed[op.victim] = true;
+        }
+        continue;
+      }
+      if (op.kind == OpKind::restore) {
+        failed[op.victim] = false;
+        continue;
+      }
+      if (op.kind == OpKind::unlink) {
+        if (files.empty()) continue;
+        const std::size_t at = op.victim % files.size();
+        for (const OstIndex ost : files[at]) --demand[ost];
+        files.erase(files.begin() + static_cast<std::ptrdiff_t>(at));
+        continue;
+      }
+      std::vector<OstIndex> healthy;
+      for (OstIndex ost = 0; ost < c.ost_count; ++ost) {
+        if (!failed[ost]) healthy.push_back(ost);
+      }
+      const std::uint32_t want =
+          std::min(op.want, static_cast<std::uint32_t>(healthy.size()));
+      const PlacementView view{c.ost_count, &failed, &demand};
+      const std::vector<OstIndex> chosen = policy->choose(want, view, rng);
+      ASSERT_EQ(chosen.size(), want);
+      // Contiguity in the healthy list: positions must be consecutive.
+      const auto pos0 = std::find(healthy.begin(), healthy.end(), chosen[0]);
+      ASSERT_NE(pos0, healthy.end());
+      for (std::size_t k = 1; k < chosen.size(); ++k) {
+        const std::size_t at =
+            static_cast<std::size_t>(pos0 - healthy.begin()) + k;
+        ASSERT_LT(at, healthy.size());
+        EXPECT_EQ(chosen[k], healthy[at]) << "seed " << seed;
+      }
+      for (const OstIndex ost : chosen) ++demand[ost];
+      files.push_back(chosen);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfsc::lustre

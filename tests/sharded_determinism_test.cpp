@@ -162,6 +162,70 @@ TEST(ShardedDeterminism, FullTraceJsonBytesIdentical) {
             obs[2].trace_summary.recorded_events);
 }
 
+// A periodic trace sampler reads server-side state (sched queues, disk
+// byte counts) from domain 0 mid-run, so make_shards silently falls back
+// to the single engine whenever trace.interval > 0. This pins both halves
+// of that contract: scenario_domain_threads reports the fallback (so
+// ParallelRunner never reserves threads the run won't use), and the traced
+// bytes are identical whatever --sim_domains asked for.
+TEST(ShardedDeterminism, TraceIntervalSamplerFallsBackToSingleEngine) {
+  harness::Scenario s;
+  s.workload = harness::Workload::multi;
+  s.jobs = 2;
+  s.nprocs = 16;
+  s.procs_per_node = 16;
+  s.ior.segment_count = 2;
+  s.ior.hints.driver = mpiio::Driver::ad_lustre;
+  s.ior.hints.striping_factor = 8;
+  s.ior.hints.striping_unit = 1_MiB;
+  s.trace.mode = trace::TraceMode::full;
+  s.trace.interval = 0.01;
+  s.trace.categories = trace::kAllCats & ~trace::cat_bit(trace::Cat::engine);
+
+  EXPECT_EQ(harness::scenario_domain_threads(s), 1u);
+  const auto base = harness::run_scenario(s, 0x5A4D08);
+  s.platform.sim_domains = 4;
+  EXPECT_EQ(harness::scenario_domain_threads(s), 1u) << "sampler fallback";
+  const auto got = harness::run_scenario(s, 0x5A4D08);
+  expect_identical(base, got, "domains=4+sampler");
+  ASSERT_FALSE(base.trace_json.empty());
+  EXPECT_EQ(base.trace_json, got.trace_json);
+}
+
+// Admission-controlled fleets must shard like everything else: the
+// controller keeps its own domain-0 bookkeeping (it never samples server
+// counters), so its decisions — and the gated per-job numbers — are
+// bit-identical at any domain count.
+TEST(ShardedDeterminism, AdmissionControlledFleet) {
+  std::vector<harness::JobSpec> jobs;
+  for (int j = 0; j < 4; ++j) {
+    harness::JobSpec spec;
+    spec.kind = harness::JobKind::ior;
+    spec.job_id = static_cast<std::uint32_t>(j);
+    spec.nprocs = 16;
+    spec.arrival = 0.05 * j;
+    spec.ior.segment_count = 2;
+    spec.ior.hints.driver = mpiio::Driver::ad_lustre;
+    spec.ior.hints.striping_factor = 8;
+    spec.ior.hints.striping_unit = 1_MiB;
+    spec.ior.test_file = "/fleet/adm.dat." + std::to_string(j);
+    jobs.push_back(spec);
+  }
+  harness::Scenario s = harness::Scenario::from_jobs(std::move(jobs));
+  s.procs_per_node = 16;
+  s.admission.policy = harness::AdmissionPolicy::threshold;
+  s.admission.max_dload = 1.01;
+  const auto obs = sweep_domains(s, 0x5A4D09);
+  for (std::size_t i = 1; i < obs.size(); ++i) {
+    ASSERT_EQ(obs[0].admissions.size(), obs[i].admissions.size());
+    for (std::size_t r = 0; r < obs[0].admissions.size(); ++r) {
+      EXPECT_EQ(obs[0].admissions[r].job_id, obs[i].admissions[r].job_id);
+      EXPECT_EQ(obs[0].admissions[r].action, obs[i].admissions[r].action);
+      EXPECT_EQ(obs[0].admissions[r].released, obs[i].admissions[r].released);
+    }
+  }
+}
+
 // sim_domains = 0 means auto (hardware concurrency, clamped); it must
 // behave like any other value — same results, no surprises.
 TEST(ShardedDeterminism, AutoDomainsMatchesSingle) {
