@@ -152,6 +152,35 @@ BENCHMARK_CAPTURE(BM_Fig3FourJobs, ladder, sim::EventQueuePolicy::ladder)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// The same Fig. 3 quartet with the adaptive controller dialled in. The
+// ctrl_off capture is the exact BM_Fig3FourJobs/ladder scenario spelled
+// through the ctrl config (mode off constructs no controller and adds no
+// engine events), so its ratio against BM_Fig3FourJobs/ladder in
+// bench-baseline.json is the "a disabled control plane costs nothing"
+// gate. The ctrl_pfl capture prices the active controller: a 10 ms tick
+// loop plus the layout retunes it decides on.
+void BM_AdaptiveQuartet(benchmark::State& state, ctrl::CtrlMode mode) {
+  harness::Scenario s = harness::Scenario::multi(4, 1024);
+  s.ior.hints.driver = mpiio::Driver::ad_lustre;
+  s.ior.hints.striping_factor = 160;
+  s.ior.hints.striping_unit = 128_MiB;
+  s.platform.event_queue = sim::EventQueuePolicy::ladder;
+  s.ctrl.mode = mode;
+  s.ctrl.interval = 0.01;
+  s.ctrl.cooldown = 0.02;
+  for (auto _ : state) {
+    const auto obs = harness::run_scenario(s, 0xF3F3);
+    benchmark::DoNotOptimize(obs.total_mbps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_AdaptiveQuartet, ctrl_off, ctrl::CtrlMode::off)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_AdaptiveQuartet, ctrl_pfl, ctrl::CtrlMode::pfl)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 // The same four-job Fig. 3 contention run, partitioned across simulation
 // domains (1 = the classic single engine; 4 and 8 shard the 32 OSS across
 // worker threads under conservative lookahead). Results are bit-identical

@@ -1,0 +1,34 @@
+#include "ctrl/retunable.hpp"
+
+namespace pfsc::ctrl {
+
+void TuningBus::attach(std::string name, Retunable& endpoint) {
+  auto [it, inserted] = endpoints_.try_emplace(std::move(name), &endpoint);
+  PFSC_REQUIRE(inserted, "TuningBus: duplicate endpoint " + it->first);
+}
+
+void TuningBus::detach(std::string_view name) {
+  const auto it = endpoints_.find(name);
+  if (it != endpoints_.end()) endpoints_.erase(it);
+}
+
+Retunable* TuningBus::find(std::string_view name) const {
+  const auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+void TuningBus::apply(std::string_view name, const TuneValue& value) {
+  Retunable* endpoint = find(name);
+  PFSC_REQUIRE(endpoint != nullptr,
+               "TuningBus: no endpoint named " + std::string(name));
+  endpoint->apply_tuning(value);
+}
+
+std::vector<std::string> TuningBus::endpoints() const {
+  std::vector<std::string> names;
+  names.reserve(endpoints_.size());
+  for (const auto& [name, endpoint] : endpoints_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pfsc::ctrl

@@ -1,0 +1,90 @@
+// The control plane's wiring layer: named runtime-retunable endpoints.
+//
+// A Retunable is anything that can accept a new tuning value mid-run —
+// an OSS scheduler's SchedTuning, the MDS placement policy, the PFL
+// size-class table, a directory default layout. The TuningBus is a flat
+// name -> endpoint registry: policies (ctrl::Controller, tests, future
+// external agents) apply values by name without knowing which simulator
+// object sits behind the name.
+//
+// Deliberate layering: the tunable objects themselves (sched::Scheduler,
+// lustre::FileSystem) do NOT implement Retunable — they expose plain
+// setters (set_tuning, set_placement, set_pfl, set_dir_stripe_now) and
+// stay ignorant of the control plane. ctrl/ wraps those setters in
+// adapter endpoints, so lustre never links ctrl and the dependency graph
+// stays a DAG: support -> sim/hw -> lustre -> trace -> ctrl -> harness.
+//
+// Type safety: TuneValue is a closed variant. An endpoint receiving the
+// wrong alternative throws UsageError and leaves the previous tuning in
+// place — a misdirected apply must not half-configure the I/O path.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "lustre/layout.hpp"
+#include "lustre/pfl.hpp"
+#include "lustre/placement.hpp"
+#include "lustre/sched/policy.hpp"
+#include "support/error.hpp"
+
+namespace pfsc::ctrl {
+
+/// Every value the control plane knows how to carry.
+using TuneValue = std::variant<lustre::sched::SchedTuning,
+                               lustre::PlacementKind, lustre::PflSpec,
+                               lustre::StripeSettings>;
+
+class Retunable {
+ public:
+  virtual ~Retunable() = default;
+
+  /// Install a new tuning value. Throws UsageError (and changes nothing)
+  /// when the variant alternative is not the one this endpoint consumes.
+  virtual void apply_tuning(const TuneValue& value) = 0;
+};
+
+/// Adapter: a Retunable endpoint expecting one specific alternative,
+/// forwarding it to a callable (usually a lambda over a plain setter).
+template <typename T>
+class Endpoint final : public Retunable {
+ public:
+  Endpoint(std::string name, std::function<void(const T&)> apply)
+      : name_(std::move(name)), apply_(std::move(apply)) {}
+
+  void apply_tuning(const TuneValue& value) override {
+    const T* v = std::get_if<T>(&value);
+    PFSC_REQUIRE(v != nullptr,
+                 "TuningBus: wrong value type for endpoint " + name_);
+    apply_(*v);
+  }
+
+ private:
+  std::string name_;
+  std::function<void(const T&)> apply_;
+};
+
+/// Name -> endpoint registry. Non-owning: whoever attaches an endpoint
+/// keeps it alive until detach (or bus destruction).
+class TuningBus {
+ public:
+  /// Register an endpoint; UsageError on a duplicate name.
+  void attach(std::string name, Retunable& endpoint);
+  void detach(std::string_view name);
+  /// The endpoint behind `name`, or nullptr.
+  Retunable* find(std::string_view name) const;
+  /// Apply `value` to the named endpoint; UsageError if unknown.
+  void apply(std::string_view name, const TuneValue& value);
+  /// Registered names, sorted.
+  std::vector<std::string> endpoints() const;
+  std::size_t size() const { return endpoints_.size(); }
+
+ private:
+  std::map<std::string, Retunable*, std::less<>> endpoints_;
+};
+
+}  // namespace pfsc::ctrl

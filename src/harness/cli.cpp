@@ -79,6 +79,15 @@ AdmissionPolicy parse_admission_policy(std::string_view flag,
   bad_value(flag, text, "expected one of: always, threshold, detune");
 }
 
+ctrl::CtrlMode parse_ctrl_mode(std::string_view flag, std::string_view text) {
+  using ctrl::CtrlMode;
+  if (text == "off") return CtrlMode::off;
+  if (text == "pfl") return CtrlMode::pfl;
+  if (text == "qos") return CtrlMode::qos;
+  if (text == "full") return CtrlMode::full;
+  bad_value(flag, text, "expected one of: off, pfl, qos, full");
+}
+
 long long parse_int(std::string_view flag, std::string_view text) {
   return parse_number<long long>(flag, text, "expected an integer");
 }
@@ -323,23 +332,64 @@ FlagTable scenario_flags(Scenario& scenario, RunPlan& plan, unsigned& threads) {
               scenario.platform.sim_domains = static_cast<std::uint32_t>(v);
             });
   table.alias("--sim-domains");
-  table.bind_bytes("--sched_quantum", scenario.platform.oss_sched.quantum,
-                   "job_fair deficit quantum per round-robin visit");
+  // Degenerate SchedTuning values are rejected right here so the error
+  // names the flag (Scenario::validate would only name the field).
+  table.add("--sched_quantum", "BYTES",
+            "job_fair deficit quantum per round-robin visit",
+            [&scenario](std::string_view text) {
+              const Bytes v = parse_bytes("--sched_quantum", text);
+              if (v == 0) throw UsageError("--sched_quantum: must be >= 1");
+              scenario.platform.oss_sched.quantum = v;
+            });
   table.add("--sched_slots", "N",
             "job_fair cap on in-service requests per OSS",
             [&scenario](std::string_view text) {
+              const std::uint64_t v = parse_uint("--sched_slots", text);
+              if (v == 0) throw UsageError("--sched_slots: must be >= 1");
               scenario.platform.oss_sched.service_slots =
-                  static_cast<std::size_t>(parse_uint("--sched_slots", text));
+                  static_cast<std::size_t>(v);
             });
   table.add("--sched_job_rate_mbps", "X",
             "token_bucket sustained per-job rate (MB/s)",
             [&scenario](std::string_view text) {
-              scenario.platform.oss_sched.job_rate =
-                  mb_per_sec(parse_double("--sched_job_rate_mbps", text));
+              const double v = parse_double("--sched_job_rate_mbps", text);
+              if (!(v > 0.0)) {
+                throw UsageError("--sched_job_rate_mbps: must be positive");
+              }
+              scenario.platform.oss_sched.job_rate = mb_per_sec(v);
             });
-  table.bind_bytes("--sched_bucket_depth",
-                   scenario.platform.oss_sched.bucket_depth,
-                   "token_bucket burst allowance");
+  table.add("--sched_bucket_depth", "BYTES",
+            "token_bucket burst allowance",
+            [&scenario](std::string_view text) {
+              const Bytes v = parse_bytes("--sched_bucket_depth", text);
+              if (v == 0) {
+                throw UsageError("--sched_bucket_depth: must be >= 1");
+              }
+              scenario.platform.oss_sched.bucket_depth = v;
+            });
+  table.add("--ctrl", "MODE",
+            "online adaptive tuning: off | pfl | qos | full",
+            [&scenario](std::string_view text) {
+              scenario.ctrl.mode = parse_ctrl_mode("--ctrl", text);
+            });
+  table.add("--ctrl_interval", "SECONDS",
+            "adaptive controller tick period",
+            [&scenario](std::string_view text) {
+              const double v = parse_double("--ctrl_interval", text);
+              if (!(v > 0.0)) {
+                throw UsageError("--ctrl_interval: must be positive");
+              }
+              scenario.ctrl.interval = v;
+            });
+  table.add("--ctrl_cooldown", "SECONDS",
+            "minimum time between two actions of the same rule",
+            [&scenario](std::string_view text) {
+              const double v = parse_double("--ctrl_cooldown", text);
+              if (v < 0.0) {
+                throw UsageError("--ctrl_cooldown: must be non-negative");
+              }
+              scenario.ctrl.cooldown = v;
+            });
 
   // Full textual hints override individual hint flags (MPI_Info form).
   table.add("--hints", "\"k=v;k=v\"", "MPI-IO hints, textual MPI_Info form",

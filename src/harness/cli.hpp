@@ -39,6 +39,7 @@ lustre::PlacementKind parse_placement_kind(std::string_view flag,
                                            std::string_view text);
 AdmissionPolicy parse_admission_policy(std::string_view flag,
                                        std::string_view text);
+ctrl::CtrlMode parse_ctrl_mode(std::string_view flag, std::string_view text);
 
 // -- flag table -------------------------------------------------------------
 

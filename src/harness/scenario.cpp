@@ -112,6 +112,15 @@ std::vector<JobSpec> Scenario::jobs_desugared() const {
   std::vector<JobSpec> out;
   if (!job_list.empty()) {
     out = job_list;
+    // JobSpec::job_id is the job's identity everywhere (scheduler
+    // accounting, admission records, analytics rows); stamp it into the
+    // embedded ior config so callers building job lists by hand don't
+    // have to remember both fields.
+    for (JobSpec& j : out) {
+      if (j.kind == JobKind::ior || j.kind == JobKind::plfs) {
+        j.ior.job_id = j.job_id;
+      }
+    }
   } else {
     switch (workload) {
       case Workload::ior:
@@ -177,6 +186,21 @@ void Scenario::validate() const {
                "Scenario: admission.max_dload must be positive");
   PFSC_REQUIRE(admission.min_stripes >= 1,
                "Scenario: admission.min_stripes must be >= 1");
+  // Degenerate scheduler tunings (zero quantum, no service slots, empty
+  // bucket) are rejected here rather than producing silently broken
+  // schedules mid-run; the CLI additionally rejects them at parse time
+  // with the flag name.
+  lustre::sched::validate_tuning(platform.oss_sched);
+  if (ctrl.mode != ctrl::CtrlMode::off) {
+    PFSC_REQUIRE(ctrl.interval > 0.0,
+                 "Scenario: ctrl.interval must be positive");
+    PFSC_REQUIRE(ctrl.cooldown >= 0.0,
+                 "Scenario: ctrl.cooldown must be non-negative");
+    PFSC_REQUIRE(ctrl.jain_low <= ctrl.jain_high,
+                 "Scenario: ctrl.jain_low must not exceed ctrl.jain_high");
+    PFSC_REQUIRE(ctrl.storm_jobs >= 1,
+                 "Scenario: ctrl.storm_jobs must be >= 1");
+  }
   if (!job_list.empty()) {
     std::set<lustre::sched::JobId> ids;
     bool any_ranks = false;
@@ -215,6 +239,8 @@ void Scenario::validate() const {
                    "Scenario: the probe workload does not support telemetry");
       PFSC_REQUIRE(trace.interval == 0.0,
                    "Scenario: the probe workload does not support a trace sampler");
+      PFSC_REQUIRE(ctrl.mode == ctrl::CtrlMode::off,
+                   "Scenario: the probe workload does not support --ctrl");
       break;
     case Workload::jobs:
       throw UsageError("Scenario: Workload::jobs needs a non-empty job_list");
@@ -263,15 +289,17 @@ void spawn_noise_job(lustre::FileSystem& fs,
 /// A sharded run's domain set, or nullptr for the single-engine path.
 /// Sharding engages only when it is requested (resolved sim_domains >= 2),
 /// the model has a lookahead to shard under (rpc_latency > 0), and no
-/// periodic sampler is attached — samplers read server-side state (sched
-/// queues, disk byte counts) from domain 0 mid-run, which would race with
-/// the owning domains. The fallback is silent and safe: results are
-/// bit-for-bit identical either way, only wall-clock time differs.
+/// periodic sampler or adaptive controller is attached — both read (the
+/// controller also writes) server-side state from domain 0 mid-run, which
+/// would race with the owning domains. The fallback is silent and safe:
+/// results are bit-for-bit identical either way, only wall-clock time
+/// differs.
 std::unique_ptr<sim::ShardSet> make_shards(const Scenario& s) {
   const std::size_t domains =
       sim::resolve_domains(s.platform.sim_domains, s.platform.oss_count);
   if (domains < 2) return nullptr;
   if (s.telemetry_interval > 0.0 || s.trace.interval > 0.0) return nullptr;
+  if (s.ctrl.mode != ctrl::CtrlMode::off) return nullptr;
   if (s.platform.rpc_latency <= 0.0) return nullptr;
   return std::make_unique<sim::ShardSet>(domains, s.platform.rpc_latency,
                                          s.platform.event_queue);
@@ -292,6 +320,7 @@ struct Rig {
   std::vector<std::unique_ptr<lustre::Client>> noise_clients;
   std::unique_ptr<trace::Sampler> sampler;
   std::unique_ptr<trace::Sampler> trace_sampler;
+  std::unique_ptr<ctrl::Controller> controller;  // scenario.ctrl.mode != off
 
   Rig(const Scenario& s, int nprocs, std::uint64_t seed,
       const std::vector<const JobSpec*>& noise_jobs)
@@ -317,6 +346,11 @@ struct Rig {
     if (s.telemetry_interval > 0.0) {
       sampler = std::make_unique<trace::Sampler>(eng, s.telemetry_interval);
       sampler->add_total_bytes_probe(fs);
+    }
+    // `off` builds no controller at all: zero engine events, goldens
+    // bit-for-bit (the same null pattern as admission control).
+    if (s.ctrl.mode != ctrl::CtrlMode::off) {
+      controller = std::make_unique<ctrl::Controller>(eng, s.ctrl, fs, recorder);
     }
     if (recorder && s.trace.interval > 0.0) {
       trace_sampler = std::make_unique<trace::Sampler>(eng, s.trace.interval);
@@ -344,10 +378,21 @@ struct Rig {
       sampler->watch([done] { return !done(); });
       sampler->start();
     }
+    if (controller) {
+      controller->watch([done] { return !done(); });
+      controller->start();
+    }
     if (trace_sampler) {
       trace_sampler->watch([done = std::move(done)] { return !done(); });
       trace_sampler->start();
     }
+  }
+
+  /// Harvest the controller's decision log into the observation.
+  void finish_ctrl(Observation& obs, const Scenario& s) {
+    if (!controller) return;
+    obs.ctrl_mode = s.ctrl.mode;
+    obs.ctrl_actions = controller->take_actions();
   }
 
   void export_bandwidth(Observation& obs) const {
@@ -725,6 +770,7 @@ Observation run_fleet(const Scenario& s, JobPlan plan, std::uint64_t seed) {
   obs.metric = mean;
   obs.contention = core::observe(rig.fs.ost_occupancy(files));
   if (admission != nullptr) obs.admissions = admission->take_records();
+  rig.finish_ctrl(obs, s);
   rig.export_bandwidth(obs);
   rig.finish_trace(obs, s, seed);
   return obs;
@@ -755,6 +801,7 @@ Observation run_single(const Scenario& s, const JobPlan& plan,
     const auto data_files = plfs->backend_data_files(spec.ior.test_file);
     obs.contention = core::observe(rig.fs.ost_occupancy(data_files));
   }
+  rig.finish_ctrl(obs, s);
   rig.export_bandwidth(obs);
   rig.finish_trace(obs, s, seed);
   return obs;
@@ -803,6 +850,7 @@ Observation run_probe(const Scenario& s, const JobPlan& plan,
 bool is_legacy_probe(const JobPlan& plan, const Scenario& s) {
   if (plan.rank_jobs.empty() || !plan.synchronized) return false;
   if (s.telemetry_interval > 0.0 || s.trace.interval > 0.0) return false;
+  if (s.ctrl.mode != ctrl::CtrlMode::off) return false;
   const JobSpec& first = *plan.rank_jobs.front();
   for (std::size_t i = 0; i < plan.rank_jobs.size(); ++i) {
     const JobSpec& j = *plan.rank_jobs[i];
@@ -893,6 +941,7 @@ std::size_t scenario_domain_threads(const Scenario& scenario) {
   if (scenario.telemetry_interval > 0.0 || scenario.trace.interval > 0.0) {
     return 1;
   }
+  if (scenario.ctrl.mode != ctrl::CtrlMode::off) return 1;
   if (scenario.platform.rpc_latency <= 0.0) return 1;
   const std::size_t domains = sim::resolve_domains(
       scenario.platform.sim_domains, scenario.platform.oss_count);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "ctrl/controller.hpp"
 #include "harness/admission.hpp"
 #include "hw/platform.hpp"
 #include "ior/ior.hpp"
@@ -160,6 +161,13 @@ struct Scenario {
   /// single-job and probe scenarios ignore it.
   AdmissionConfig admission;
 
+  /// Online adaptive tuning (ctrl/controller.hpp). The default mode `off`
+  /// is bit-for-bit invisible: no Controller is constructed and zero
+  /// engine events are added. Any active mode forces the single-engine
+  /// fallback (like periodic telemetry) so reports stay byte-identical at
+  /// any --sim_domains/--threads.
+  ctrl::CtrlConfig ctrl;
+
   /// > 0: attach a telemetry sampler at this interval and return the
   /// aggregate-bandwidth timeline in Observation::bandwidth.
   Seconds telemetry_interval = 0.0;
@@ -231,6 +239,12 @@ struct Observation {
   /// Admission decisions in release order (empty when scenario.admission is
   /// `always` — the controller is never constructed then).
   std::vector<AdmissionRecord> admissions;
+
+  /// The mode the adaptive controller ran in (off: no controller existed).
+  ctrl::CtrlMode ctrl_mode = ctrl::CtrlMode::off;
+  /// Adaptive-tuning decisions in decision order (empty when ctrl_mode is
+  /// off — the Controller is never constructed then).
+  std::vector<ctrl::CtrlAction> ctrl_actions;
 
   // -- event tracing (scenario.trace.mode != off) -------------------------
   /// True when the run carried a trace::Recorder.

@@ -11,6 +11,14 @@ IorJob::IorJob(mpi::Communicator& comm, lustre::FileSystem& fs, Config config,
   PFSC_REQUIRE(config_.block_size % config_.transfer_size == 0,
                "IOR: block size must be a multiple of transfer size");
   PFSC_REQUIRE(config_.segment_count > 0, "IOR: segment count must be positive");
+  // IOR knows each file's final size up front; declare it so a PFL spec
+  // can pick the stripe count by size class. An explicit hint wins.
+  if (config_.hints.expected_file_size == 0) {
+    config_.hints.expected_file_size =
+        config_.file_per_process
+            ? bytes_per_rank()
+            : bytes_per_rank() * static_cast<Bytes>(comm.size());
+  }
   if (config_.file_per_process) {
     self_comms_.resize(static_cast<std::size_t>(comm.size()));
     rank_files_.resize(static_cast<std::size_t>(comm.size()));

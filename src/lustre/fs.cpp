@@ -185,11 +185,32 @@ StripeSettings FileSystem::effective_settings(const Inode& dir,
     if (eff.stripe_offset < 0) eff.stripe_offset = dir.dir_default.stripe_offset;
     if (eff.pool.empty()) eff.pool = dir.dir_default.pool;
   }
+  // PFL: a create that still defaults its stripe count but declares an
+  // expected size gets the count of its size class. Explicit requests and
+  // directory defaults both outrank the progressive layout, as in Lustre.
+  if (eff.stripe_count == 0 && eff.size_hint > 0 && !pfl_.empty()) {
+    eff.stripe_count = pfl_.choose(eff.size_hint);
+  }
   if (eff.stripe_count == 0) eff.stripe_count = params_.default_stripe_count;
   if (eff.stripe_size == 0) eff.stripe_size = params_.default_stripe_size;
   eff.stripe_count = std::min(eff.stripe_count, params_.max_stripe_count);
   eff.stripe_count = std::min(eff.stripe_count, params_.ost_count);
   return eff;
+}
+
+void FileSystem::set_pfl(PflSpec spec) {
+  spec.validate();
+  pfl_ = std::move(spec);
+}
+
+Errno FileSystem::set_dir_stripe_now(std::string_view path,
+                                     StripeSettings settings) {
+  Inode* node = find(path);
+  if (node == nullptr) return Errno::enoent;
+  if (!node->is_dir) return Errno::enotdir;
+  node->dir_default = settings;
+  node->has_dir_default = true;
+  return Errno::ok;
 }
 
 Errno FileSystem::pool_new(const std::string& name) {
@@ -288,11 +309,24 @@ sim::Co<Result<InodeId>> FileSystem::create(std::string path,
   auto osts = allocate_osts(eff);
   if (!osts.ok()) co_return R::failure(osts.err);
 
+  // Claim the objects' demand before yielding to the MDS wait, so creates
+  // racing at the same instant see each other's allocations: load_aware
+  // placement would otherwise hand a t=0 burst of creates identical
+  // least-loaded OST sets from one stale snapshot (the ROADMAP's
+  // "placement at t=0 bursts" follow-on).
+  for (const OstIndex ost : osts.value) ++objects_per_ost_[ost];
+
   co_await mds_op(params_.mds_create_time +
                   20.0e-6 * static_cast<double>(eff.stripe_count));
 
   // Re-check after waiting: a racing create may have inserted the name.
-  if (dir.entries.contains(leaf)) co_return R::failure(Errno::eexist);
+  if (dir.entries.contains(leaf)) {
+    for (const OstIndex ost : osts.value) {
+      PFSC_ASSERT(objects_per_ost_[ost] > 0);
+      --objects_per_ost_[ost];
+    }
+    co_return R::failure(Errno::eexist);
+  }
 
   Inode& file = new_inode(/*is_dir=*/false, dir_id, leaf);
   file.layout.stripe_size = eff.stripe_size;
@@ -300,7 +334,6 @@ sim::Co<Result<InodeId>> FileSystem::create(std::string path,
   file.layout.objects.reserve(file.layout.osts.size());
   for (OstIndex ost : file.layout.osts) {
     file.layout.objects.push_back(next_object_++);
-    ++objects_per_ost_[ost];
   }
   dir.entries.emplace(leaf, file.id);
   ++files_created_;

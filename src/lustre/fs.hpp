@@ -26,6 +26,7 @@
 #include "lustre/errors.hpp"
 #include "lustre/extent_map.hpp"
 #include "lustre/layout.hpp"
+#include "lustre/pfl.hpp"
 #include "lustre/placement.hpp"
 #include "lustre/sched/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -183,6 +184,23 @@ class FileSystem {
   bool ost_failed(OstIndex ost) const;
   std::uint32_t healthy_ost_count() const;
 
+  // -- runtime-retunable endpoints (control plane; ctrl/ wraps these) ----
+  // All three are instantaneous administrative actions: they schedule no
+  // engine events and only affect files created afterwards, so a run that
+  // never calls them is bit-for-bit unchanged.
+  /// Swap the placement policy allocating new-file OST sets.
+  void set_placement(PlacementKind kind) { placement_ = make_placement(kind); }
+  /// Install (or clear, with a default-constructed spec) the PFL size-class
+  /// table consulted by effective_settings() for creates that default their
+  /// stripe count and carry a size_hint.
+  void set_pfl(PflSpec spec);
+  const PflSpec& pfl() const { return pfl_; }
+  /// set_dir_stripe without the simulated MDS round trip: the control
+  /// plane's administrative default-layout change (a controller decision
+  /// must not perturb MDS queueing, or `--ctrl` runs would diverge from
+  /// their goldens in ways unrelated to the tuning itself).
+  Errno set_dir_stripe_now(std::string_view path, StripeSettings settings);
+
   // -- statistics ---------------------------------------------------------
   /// The effective placement policy allocating new-file OST sets.
   PlacementKind placement_kind() const { return placement_->kind(); }
@@ -217,6 +235,7 @@ class FileSystem {
   sim::ShardSet* shards_ = nullptr;
   hw::PlatformParams params_;
   std::unique_ptr<PlacementPolicy> placement_;
+  PflSpec pfl_;
   Rng rng_;
   std::shared_ptr<const void> live_ = std::make_shared<int>(0);
 

@@ -79,6 +79,12 @@ struct StripeSettings {
   /// OST pool to allocate from (lfs pool_new/pool_add); empty = any OST.
   /// Pools isolate workloads from each other's contention.
   PoolName pool;
+  /// Expected final file size (0 = unknown). Never changes the layout by
+  /// itself: when the stripe count is otherwise defaulted and the file
+  /// system carries a PflSpec, the MDS picks the count from this hint's
+  /// size class (pfl.hpp) — the modelled analogue of a PFL composite
+  /// layout's first matching component.
+  Bytes size_hint = 0;
 };
 static_assert(std::is_trivially_destructible_v<StripeSettings>,
               "StripeSettings crosses coroutine parameter boundaries by "

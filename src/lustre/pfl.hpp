@@ -1,0 +1,59 @@
+// PFL-style progressive file layouts, reduced to the property this model
+// cares about: stripe count as a function of expected file size.
+//
+// Real Lustre PFL gives one file several components, each striping a byte
+// range ("first GiB on 1 OST, next TiB on 16, rest on all"). Here a file's
+// layout is fixed at create time, so the composite collapses to choosing
+// the component the file's expected size lands in: small files get few
+// stripes (less per-file metadata and contention footprint), large files
+// get wide layouts (parallel bandwidth). See *Evaluating Dynamic File
+// Striping For Lustre* (PAPERS.md) for why size-driven stripe choice pays
+// off, and ISSUE 9 for how the control plane installs/retunes the spec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace pfsc::lustre {
+
+/// Size-class table mapping an expected file size to a stripe count.
+struct PflSpec {
+  struct Class {
+    /// Files with size_hint <= up_to fall in this class.
+    Bytes up_to = 0;
+    std::uint32_t stripe_count = 0;
+  };
+
+  /// Ascending by up_to; a hint beyond the last class uses `wide`.
+  std::vector<Class> classes;
+  /// Stripe count for files larger than every class (0 = platform
+  /// default, i.e. "stripe as the file system would have anyway").
+  std::uint32_t wide = 0;
+
+  bool empty() const { return classes.empty() && wide == 0; }
+
+  /// Stripe count for a file expected to reach `size_hint` bytes; 0 means
+  /// "no opinion, use the platform default".
+  std::uint32_t choose(Bytes size_hint) const {
+    for (const Class& c : classes) {
+      if (size_hint <= c.up_to) return c.stripe_count;
+    }
+    return wide;
+  }
+
+  /// Classes must be ascending with positive stripe counts.
+  void validate() const {
+    Bytes prev = 0;
+    for (const Class& c : classes) {
+      PFSC_REQUIRE(c.up_to > prev, "PflSpec: classes must ascend by up_to");
+      PFSC_REQUIRE(c.stripe_count > 0,
+                   "PflSpec: class stripe_count must be positive");
+      prev = c.up_to;
+    }
+  }
+};
+
+}  // namespace pfsc::lustre

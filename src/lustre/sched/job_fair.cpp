@@ -71,9 +71,32 @@ void JobFairSched::pump() {
   }
 }
 
+void JobFairSched::on_complete() {
+  // A completion pays down any post-retune excess before it frees a
+  // grantable slot.
+  if (overcommit_ > 0) {
+    overcommit_ = in_service() > tuning_.service_slots
+                      ? in_service() - tuning_.service_slots
+                      : 0;
+  }
+  pump();
+}
+
+void JobFairSched::on_retune(const SchedTuning& previous) {
+  (void)previous;  // deficits and queues carry over unchanged
+  // Shrinking service_slots below the in-service count cannot recall
+  // grants; remember the excess so check_invariants() stays truthful and
+  // pump() stays closed until completions absorb it. A growth retune
+  // clears any residue and immediately fills the new slots.
+  overcommit_ = in_service() > tuning_.service_slots
+                    ? in_service() - tuning_.service_slots
+                    : 0;
+  pump();
+}
+
 void JobFairSched::check_invariants() const {
   Scheduler::check_invariants();
-  if (in_service() > tuning_.service_slots) {
+  if (in_service() > tuning_.service_slots + overcommit_) {
     throw SimulationError("JobFairSched: in-service count exceeds slots");
   }
   std::size_t pending = 0;

@@ -51,11 +51,17 @@ class JobFairSched final : public Scheduler {
   /// backlog drains. Never resumes a waiter inline: granted waiters are
   /// scheduled on the engine, so pump() is safe to call from complete().
   void pump();
-  void on_complete() override { pump(); }
+  void on_complete() override;
+  void on_retune(const SchedTuning& previous) override;
 
   std::map<JobId, std::deque<Pending>> queues_;
   std::deque<JobId> active_;           // jobs with a non-empty queue
   std::map<JobId, Bytes> deficit_;     // per active job
+  /// Grants legitimately in service beyond service_slots after a mid-run
+  /// slot shrink. A retune cannot recall requests already at the disk, so
+  /// the cap is honoured going forward: no new grants until completions
+  /// pay the excess down (it never grows between retunes).
+  std::size_t overcommit_ = 0;
 };
 
 }  // namespace pfsc::lustre::sched

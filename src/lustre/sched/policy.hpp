@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "support/error.hpp"
 #include "support/units.hpp"
 
 namespace pfsc::lustre::sched {
@@ -58,5 +59,18 @@ struct SchedTuning {
   /// token_bucket: burst allowance (bucket capacity).
   Bytes bucket_depth = 16_MiB;
 };
+
+/// Reject degenerate tunings (zero quantum, no service slots, empty
+/// bucket) regardless of which policy consumes them. One shared check so
+/// Scenario::validate, the scheduler constructors, and mid-run
+/// set_tuning all refuse the same inputs.
+inline void validate_tuning(const SchedTuning& t) {
+  PFSC_REQUIRE(t.quantum > 0, "SchedTuning: quantum must be positive");
+  PFSC_REQUIRE(t.service_slots >= 1,
+               "SchedTuning: need at least one service slot");
+  PFSC_REQUIRE(t.job_rate > 0.0, "SchedTuning: job_rate must be positive");
+  PFSC_REQUIRE(t.bucket_depth > 0,
+               "SchedTuning: bucket_depth must be positive");
+}
 
 }  // namespace pfsc::lustre::sched

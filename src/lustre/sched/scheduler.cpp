@@ -72,6 +72,13 @@ void Scheduler::complete(JobId job, Bytes bytes) {
   on_complete();
 }
 
+void Scheduler::set_tuning(const SchedTuning& tuning) {
+  validate_tuning(tuning);
+  const SchedTuning previous = tuning_;
+  tuning_ = tuning;
+  on_retune(previous);
+}
+
 Bytes Scheduler::served_bytes(JobId job) const {
   const auto it = served_.find(job);
   return it == served_.end() ? 0 : it->second;

@@ -78,6 +78,12 @@ class Scheduler {
 
   const SchedTuning& tuning() const { return tuning_; }
 
+  /// Swap the tuning constants mid-run (the control plane's entry point).
+  /// Validates the new tuning, installs it, and gives the policy a chance
+  /// to reconcile in-flight state via on_retune(); scheduler invariants
+  /// hold across the call (fuzz-tested in sched_fuzz_test).
+  void set_tuning(const SchedTuning& tuning);
+
   /// Name this scheduler's trace track ("oss2.sched"); set by the owning
   /// FileSystem. Unnamed schedulers trace as "sched".
   void set_trace_label(std::string label) { trace_label_ = std::move(label); }
@@ -99,6 +105,11 @@ class Scheduler {
   /// Policy hook run after complete()'s accounting (e.g. to grant the
   /// next queued request into the freed service slot).
   virtual void on_complete() {}
+  /// Policy hook run by set_tuning() after tuning_ already holds the new
+  /// values; `previous` is the tuning the in-flight state was built
+  /// under, so policies can settle rate accounting or relax caps that
+  /// the swap would otherwise violate retroactively.
+  virtual void on_retune(const SchedTuning& previous) { (void)previous; }
 
   sim::Engine* eng_;
   SchedTuning tuning_;

@@ -1,6 +1,7 @@
 #include "lustre/sched/token_bucket.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace pfsc::lustre::sched {
 
@@ -102,6 +103,32 @@ sim::Task TokenBucketSched::wakeup(JobId job, std::uint64_t generation,
     co_return;  // stale: the queue was re-armed or drained meanwhile
   }
   drain(job);
+}
+
+void TokenBucketSched::on_retune(const SchedTuning& previous) {
+  const Seconds now = eng_->now();
+  for (auto& [job, b] : buckets_) {
+    // Settle the balance under the tuning the elapsed interval actually
+    // ran at, then clamp into the new capacity (a shrink must not leave
+    // an overfilled bucket behind).
+    b.tokens = std::min(static_cast<double>(previous.bucket_depth),
+                        b.tokens + previous.job_rate * (now - b.last));
+    b.last = now;
+    b.tokens = std::min(b.tokens, static_cast<double>(tuning_.bucket_depth));
+    // Any armed timer was sized to the old rate/depth; invalidate it.
+    ++b.timer_generation;
+  }
+  // Re-evaluate queued heads under the new tuning: a deeper bucket or a
+  // faster rate may grant immediately, otherwise drain() re-arms a timer
+  // computed from the new constants. drain() may erase nothing here but
+  // can touch buckets_ only via bucket(), which for existing jobs does
+  // not invalidate other iterators — still, walk a snapshot of job ids.
+  std::vector<JobId> jobs;
+  jobs.reserve(buckets_.size());
+  for (const auto& [job, b] : buckets_) {
+    if (!b.q.empty()) jobs.push_back(job);
+  }
+  for (const JobId job : jobs) drain(job);
 }
 
 double TokenBucketSched::tokens(JobId job) const {

@@ -63,6 +63,7 @@ class TokenBucketSched final : public Scheduler {
   void drain(JobId job);
   void arm(JobId job, Bucket& b);
   sim::Task wakeup(JobId job, std::uint64_t generation, Seconds dt);
+  void on_retune(const SchedTuning& previous) override;
 
   std::map<JobId, Bucket> buckets_;
 };

@@ -41,6 +41,7 @@ class LustreFamilyDriver final : public AdioDriver {
           settings.stripe_count = ctx.hints.striping_factor;
           settings.stripe_size = ctx.hints.striping_unit;
           settings.stripe_offset = ctx.hints.start_iodevice;
+          settings.size_hint = ctx.hints.expected_file_size;
         }
         auto r = co_await client.create(ctx.path, settings);
         if (!r.ok()) co_return r.err;

@@ -28,6 +28,10 @@ struct Hints {
   std::uint32_t striping_factor = 0;  // stripe count; 0 = fs default
   Bytes striping_unit = 0;            // stripe size; 0 = fs default
   std::int32_t start_iodevice = -1;   // first OST index; -1 = allocator
+  /// Expected final file size, forwarded as StripeSettings::size_hint so a
+  /// PFL spec (lustre/pfl.hpp) can pick the stripe count by size class
+  /// when striping_factor is left defaulted. 0 = unknown.
+  Bytes expected_file_size = 0;
 
   // -- collective buffering ----------------------------------------------
   bool romio_cb_write = true;

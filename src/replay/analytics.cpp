@@ -141,6 +141,12 @@ FleetReport analyze_fleet(const harness::Observation& obs,
     report.total_admit_wait += rec.wait();
   }
 
+  report.has_adaptation = obs.ctrl_mode != ctrl::CtrlMode::off;
+  if (report.has_adaptation) {
+    report.ctrl_mode = ctrl::ctrl_mode_name(obs.ctrl_mode);
+    report.adaptations = obs.ctrl_actions;
+  }
+
   std::map<std::string, AppStats> by_app;
   for (const JobStats& js : report.jobs) {
     AppStats& a = by_app[js.app];
@@ -201,6 +207,16 @@ std::string FleetReport::format_table() const {
                   admitted, delayed, detuned, total_admit_wait);
     out << line;
   }
+  if (has_adaptation) {
+    std::snprintf(line, sizeof line, "adaptation: mode %s, %zu actions\n",
+                  ctrl_mode.c_str(), adaptations.size());
+    out << line;
+    for (const ctrl::CtrlAction& a : adaptations) {
+      std::snprintf(line, sizeof line, "  t=%8.3f  %-10s %-14s %s\n", a.at,
+                    a.endpoint.c_str(), a.rule.c_str(), a.detail.c_str());
+      out << line;
+    }
+  }
   return out.str();
 }
 
@@ -216,6 +232,20 @@ std::string FleetReport::to_json() const {
     out << ",\"admission\":{\"admitted\":" << admitted
         << ",\"delayed\":" << delayed << ",\"detuned\":" << detuned
         << ",\"total_wait\":" << fmt_double(total_admit_wait) << "}";
+  }
+  // Same deal for the adaptive controller: the block only exists when the
+  // run carried one, so --ctrl off reports match their goldens byte-for-byte.
+  if (has_adaptation) {
+    out << ",\"adaptation\":{\"mode\":\"" << ctrl_mode
+        << "\",\"actions\":" << adaptations.size() << ",\"log\":[";
+    for (std::size_t i = 0; i < adaptations.size(); ++i) {
+      const ctrl::CtrlAction& a = adaptations[i];
+      if (i > 0) out << ",";
+      out << "{\"at\":" << fmt_double(a.at) << ",\"endpoint\":\""
+          << json_escape(a.endpoint) << "\",\"rule\":\"" << json_escape(a.rule)
+          << "\",\"detail\":\"" << json_escape(a.detail) << "\"}";
+    }
+    out << "]}";
   }
   out << "},\"apps\":[";
   for (std::size_t i = 0; i < apps.size(); ++i) {

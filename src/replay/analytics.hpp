@@ -79,6 +79,11 @@ struct FleetReport {
   unsigned detuned = 0;        // released with a reduced stripe count
   Seconds total_admit_wait = 0.0;  // summed queue wait across all jobs
 
+  // -- adaptive tuning (Observation::ctrl_actions; empty when --ctrl off) --
+  bool has_adaptation = false;  // the run carried a ctrl::Controller
+  std::string ctrl_mode;        // "pfl" | "qos" | "full"
+  std::vector<ctrl::CtrlAction> adaptations;  // decisions, in time order
+
   /// Fixed-width ranked table (one row per application + a fleet footer).
   std::string format_table() const;
   /// Deterministic JSON ({"fleet": ..., "apps": [...], "jobs": [...]}).

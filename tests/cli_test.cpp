@@ -362,6 +362,99 @@ TEST(CliEnumFlags, SchedTuningFlagsDriveTheTuningStruct) {
   EXPECT_EQ(scenario.platform.oss_sched.bucket_depth, 32_MiB);
 }
 
+TEST(CliEnumFlags, SchedTuningFlagsRejectDegenerateValuesByName) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  // Zero / negative tuning values would wedge a scheduler (a zero quantum
+  // never makes progress); the parse itself rejects them and the message
+  // names the flag, not just the field.
+  const std::pair<const char*, const char*> bad[] = {
+      {"--sched_quantum", "0"},
+      {"--sched_slots", "0"},
+      {"--sched_job_rate_mbps", "0"},
+      {"--sched_job_rate_mbps", "-3"},
+      {"--sched_bucket_depth", "0"},
+  };
+  for (const auto& [flag, value] : bad) {
+    std::vector<std::string> args = {"prog", flag, value};
+    auto argv = argv_of(args);
+    try {
+      table.parse(static_cast<int>(argv.size()), argv.data(), 1);
+      FAIL() << flag << "=" << value;
+    } catch (const UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find(flag), std::string::npos)
+          << e.what();
+    }
+  }
+  // No partial writes: everything still at the platform defaults.
+  const hw::PlatformParams defaults;
+  EXPECT_EQ(scenario.platform.oss_sched.quantum, defaults.oss_sched.quantum);
+  EXPECT_EQ(scenario.platform.oss_sched.service_slots,
+            defaults.oss_sched.service_slots);
+}
+
+TEST(CliEnumFlags, CtrlFlagsDriveTheControllerConfig) {
+  Scenario scenario;
+  RunPlan plan;
+  unsigned threads = 0;
+  FlagTable table = scenario_flags(scenario, plan, threads);
+
+  EXPECT_EQ(scenario.ctrl.mode, ctrl::CtrlMode::off);  // default: off
+
+  std::vector<std::string> args = {"prog",     "--ctrl",          "pfl",
+                                   "--ctrl_interval", "0.05",
+                                   "--ctrl_cooldown", "0.2"};
+  auto argv = argv_of(args);
+  table.parse(static_cast<int>(argv.size()), argv.data(), 1);
+  EXPECT_EQ(scenario.ctrl.mode, ctrl::CtrlMode::pfl);
+  EXPECT_DOUBLE_EQ(scenario.ctrl.interval, 0.05);
+  EXPECT_DOUBLE_EQ(scenario.ctrl.cooldown, 0.2);
+
+  for (const char* mode : {"qos", "full", "off"}) {
+    std::vector<std::string> one = {"prog", "--ctrl", mode};
+    auto argv1 = argv_of(one);
+    table.parse(static_cast<int>(argv1.size()), argv1.data(), 1);
+  }
+  EXPECT_EQ(scenario.ctrl.mode, ctrl::CtrlMode::off);
+
+  // Unknown mode: strict error listing the valid choices.
+  std::vector<std::string> bad = {"prog", "--ctrl", "adaptive"};
+  auto argv2 = argv_of(bad);
+  try {
+    table.parse(static_cast<int>(argv2.size()), argv2.data(), 1);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--ctrl"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pfl"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("full"), std::string::npos) << msg;
+  }
+
+  // Degenerate periods are parse errors naming the flag.
+  for (const auto& [flag, value] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"--ctrl_interval", "0"},
+           {"--ctrl_interval", "-1"},
+           {"--ctrl_cooldown", "-0.5"}}) {
+    std::vector<std::string> args2 = {"prog", flag, value};
+    auto argv3 = argv_of(args2);
+    try {
+      table.parse(static_cast<int>(argv3.size()), argv3.data(), 1);
+      FAIL() << flag << "=" << value;
+    } catch (const UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find(flag), std::string::npos)
+          << e.what();
+    }
+  }
+
+  // The flags are documented.
+  EXPECT_NE(table.usage().find("--ctrl"), std::string::npos);
+  EXPECT_NE(table.usage().find("--ctrl_interval"), std::string::npos);
+}
+
 TEST(CliTraceFlags, ParseStrictlyAndDriveTraceConfig) {
   Scenario scenario;
   RunPlan plan;

@@ -112,5 +112,95 @@ TEST(SchedFuzz, Fifo) { fuzz_policy(SchedPolicy::fifo); }
 TEST(SchedFuzz, JobFair) { fuzz_policy(SchedPolicy::job_fair); }
 TEST(SchedFuzz, TokenBucket) { fuzz_policy(SchedPolicy::token_bucket); }
 
+/// Re-tunes the scheduler while requests are queued and in service,
+/// auditing invariants immediately before and after every set_tuning().
+/// Exercises the mid-flight reconciliation paths: job_fair's overcommit
+/// allowance on a slot shrink, token_bucket's settle/clamp/re-drain on a
+/// rate or depth change.
+sim::Task retuner(sim::Engine& eng, Scheduler& s, Rng& rng, FuzzStats& st) {
+  for (int i = 0; i < 64 && st.completed < st.total; ++i) {
+    co_await eng.delay(rng.uniform_double(2.0e-4, 3.0e-3));
+    s.check_invariants();
+    s.set_tuning(random_tuning(rng));
+    s.check_invariants();
+  }
+}
+
+void run_retune_sequence(sim::Engine& eng, SchedPolicy policy, Rng& rng) {
+  const auto s = make_scheduler(eng, policy, random_tuning(rng));
+  const auto link =
+      sim::make_link(eng, sim::LinkPolicy::fair_share, mb_per_sec(600.0));
+
+  const std::uint32_t jobs = 1 + static_cast<std::uint32_t>(rng.uniform(5));
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(80));
+  FuzzStats st;
+  st.total = n;
+  Bytes total = 0;
+  std::vector<Bytes> per_job(jobs, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto job = static_cast<JobId>(rng.uniform(jobs));
+    const Bytes bytes = 1 + rng.uniform(8_MiB);
+    const Seconds arrival = rng.uniform_double(0.0, 0.02);
+    const bool cancel_like = rng.uniform(8) == 0;
+    total += bytes;
+    per_job[job] += bytes;
+    eng.spawn(fuzz_request(eng, *s, *link, job, bytes, arrival, cancel_like, st));
+  }
+  eng.spawn(monitor(eng, *s, st));
+  eng.spawn(retuner(eng, *s, rng, st));
+  eng.run();
+
+  EXPECT_EQ(st.completed, n);
+  EXPECT_EQ(s->queue_depth(), 0u);
+  EXPECT_EQ(s->in_service(), 0u);
+  EXPECT_EQ(s->served_bytes(), total);
+  for (std::uint32_t job = 0; job < jobs; ++job) {
+    EXPECT_EQ(s->served_bytes(job), per_job[job]) << "job " << job;
+  }
+  EXPECT_NO_THROW(s->check_invariants());
+}
+
+void fuzz_retune_policy(SchedPolicy policy) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE(std::string(sched_policy_name(policy)) + " retune seed " +
+                 std::to_string(seed));
+    Rng rng(0x7E7Eu ^ (seed * 0x9E3779B97F4A7C15ull));
+    sim::Engine eng;
+    run_retune_sequence(eng, policy, rng);
+    run_retune_sequence(eng, policy, rng);
+  }
+}
+
+TEST(SchedFuzz, FifoRetuneUnderLoad) { fuzz_retune_policy(SchedPolicy::fifo); }
+TEST(SchedFuzz, JobFairRetuneUnderLoad) {
+  fuzz_retune_policy(SchedPolicy::job_fair);
+}
+TEST(SchedFuzz, TokenBucketRetuneUnderLoad) {
+  fuzz_retune_policy(SchedPolicy::token_bucket);
+}
+
+/// Degenerate tunings are rejected atomically: the failed set_tuning leaves
+/// the previous tuning in place and the scheduler fully serviceable.
+TEST(SchedFuzz, RejectsDegenerateTuning) {
+  for (const SchedPolicy policy :
+       {SchedPolicy::fifo, SchedPolicy::job_fair, SchedPolicy::token_bucket}) {
+    sim::Engine eng;
+    const auto s = make_scheduler(eng, policy, SchedTuning{});
+    SchedTuning bad;
+    bad.quantum = 0;
+    EXPECT_THROW(s->set_tuning(bad), UsageError);
+    bad = SchedTuning{};
+    bad.service_slots = 0;
+    EXPECT_THROW(s->set_tuning(bad), UsageError);
+    bad = SchedTuning{};
+    bad.job_rate = 0.0;
+    EXPECT_THROW(s->set_tuning(bad), UsageError);
+    bad = SchedTuning{};
+    bad.bucket_depth = 0;
+    EXPECT_THROW(s->set_tuning(bad), UsageError);
+    EXPECT_NO_THROW(s->check_invariants());
+  }
+}
+
 }  // namespace
 }  // namespace pfsc::lustre::sched

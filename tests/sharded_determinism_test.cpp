@@ -226,6 +226,52 @@ TEST(ShardedDeterminism, AdmissionControlledFleet) {
   }
 }
 
+// An active adaptive controller samples server-side state (sched queues,
+// per-job byte counters, object placement) from domain 0 every tick, so
+// make_shards falls back to the single engine exactly like the periodic
+// trace sampler does. This pins the contract at its strongest setting:
+// --ctrl full fleet reports must be byte-identical whatever --sim_domains
+// asked for.
+TEST(ShardedDeterminism, ControllerFallsBackToSingleEngine) {
+  std::vector<harness::JobSpec> jobs;
+  for (int j = 0; j < 4; ++j) {
+    harness::JobSpec spec;
+    spec.kind = harness::JobKind::ior;
+    spec.job_id = static_cast<std::uint32_t>(j);
+    spec.nprocs = 16;
+    spec.arrival = 0.05 * j;
+    spec.ior.segment_count = 2;
+    spec.ior.hints.driver = mpiio::Driver::ad_lustre;
+    spec.ior.hints.striping_factor = 8;
+    spec.ior.hints.striping_unit = 1_MiB;
+    spec.ior.test_file = "/fleet/ctrl.dat." + std::to_string(j);
+    jobs.push_back(spec);
+  }
+  harness::Scenario s = harness::Scenario::from_jobs(std::move(jobs));
+  s.procs_per_node = 16;
+  s.ctrl.mode = ctrl::CtrlMode::full;
+  s.ctrl.interval = 0.02;
+
+  EXPECT_EQ(harness::scenario_domain_threads(s), 1u) << "controller fallback";
+  const auto base = harness::run_scenario(s, 0x5A4D0A);
+  s.platform.sim_domains = 4;
+  EXPECT_EQ(harness::scenario_domain_threads(s), 1u) << "controller fallback";
+  const auto got = harness::run_scenario(s, 0x5A4D0A);
+  expect_identical(base, got, "domains=4+controller");
+
+  ASSERT_EQ(base.ctrl_actions.size(), got.ctrl_actions.size());
+  for (std::size_t i = 0; i < base.ctrl_actions.size(); ++i) {
+    EXPECT_EQ(base.ctrl_actions[i].at, got.ctrl_actions[i].at);
+    EXPECT_EQ(base.ctrl_actions[i].endpoint, got.ctrl_actions[i].endpoint);
+    EXPECT_EQ(base.ctrl_actions[i].rule, got.ctrl_actions[i].rule);
+    EXPECT_EQ(base.ctrl_actions[i].detail, got.ctrl_actions[i].detail);
+  }
+  const std::string base_report =
+      replay::analyze_fleet(base, s.platform).to_json();
+  EXPECT_EQ(base_report, replay::analyze_fleet(got, s.platform).to_json());
+  EXPECT_NE(base_report.find("\"adaptation\""), std::string::npos);
+}
+
 // sim_domains = 0 means auto (hardware concurrency, clamped); it must
 // behave like any other value — same results, no surprises.
 TEST(ShardedDeterminism, AutoDomainsMatchesSingle) {

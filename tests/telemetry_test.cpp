@@ -47,6 +47,41 @@ TEST(Sampler, StopEndsEarly) {
   EXPECT_EQ(sampler.series(0).size(), 3u);  // t = 0, 1, 2
 }
 
+// watch() and stop() compose: the predicate keeps the sampler alive, but
+// an explicit stop() ends it immediately — and cancels the pending wake,
+// so the engine drains instead of ticking out the watch predicate.
+TEST(Sampler, StopOverridesWatchPredicate) {
+  sim::Engine eng;
+  Sampler sampler(eng, 1.0);
+  sampler.add_probe("x", [] { return 1.0; });
+  sampler.watch([] { return true; });  // would run to max_ticks
+  sampler.start();
+  eng.spawn([](sim::Engine& e, Sampler& s) -> sim::Task {
+    co_await e.delay(3.5);
+    s.stop();
+  }(eng, sampler));
+  eng.run();
+  EXPECT_EQ(sampler.series(0).size(), 4u);  // t = 0, 1, 2, 3
+  EXPECT_LT(eng.now(), 5.0);  // no orphaned tick timer kept the engine alive
+}
+
+// stop() is idempotent: calling it again (including after the engine has
+// drained) must not throw or cancel someone else's timer.
+TEST(Sampler, StopIsIdempotent) {
+  sim::Engine eng;
+  Sampler sampler(eng, 1.0, /*max_ticks=*/2);
+  sampler.add_probe("x", [] { return 0.0; });
+  sampler.start();
+  eng.spawn([](sim::Engine& e, Sampler& s) -> sim::Task {
+    co_await e.delay(0.5);
+    s.stop();
+    s.stop();
+  }(eng, sampler));
+  eng.run();
+  EXPECT_NO_THROW(sampler.stop());
+  EXPECT_EQ(sampler.series(0).size(), 1u);  // only the t=0 tick landed
+}
+
 TEST(Sampler, RegistrationAfterStartRejected) {
   sim::Engine eng;
   Sampler sampler(eng, 1.0, 1);
