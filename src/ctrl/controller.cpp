@@ -94,7 +94,7 @@ void Controller::start() {
   // Arm the baseline before the first event runs, so files created at
   // t=0 already land in the controlled regime.
   if (cfg_.mode == CtrlMode::pfl || cfg_.mode == CtrlMode::full) {
-    act("pfl", "pfl_calm", "wide layouts for new files",
+    act("pfl", "pfl", "pfl_calm", "wide layouts for new files",
         TuneValue(calm_spec()));
   }
   eng_->spawn(run());
@@ -165,16 +165,19 @@ void Controller::rule_pfl() {
     std::ostringstream detail;
     detail << "narrow layouts: " << spec.wide << " stripes for "
            << active << " writers";
-    act("pfl", "pfl_storm", detail.str(), TuneValue(spec));
+    act("pfl", "pfl", "pfl_storm", detail.str(), TuneValue(spec));
     return;
   }
   if (storm_ && active + 1 <= cfg_.storm_jobs) {
-    // Hysteresis: leave the storm state only once concurrency has
-    // dropped strictly below the entry threshold.
+    // Exit once concurrency drops strictly below the entry threshold.
+    // This condition is the exact complement of the entry test — the
+    // stickiness against flapping comes from the active_window smoothing
+    // in active_jobs() and the per-family cooldown, not from a threshold
+    // band here.
     if (in_cooldown("pfl")) return;
     storm_ = false;
     storm_width_ = 0;
-    act("pfl", "pfl_calm", "wide layouts for new files",
+    act("pfl", "pfl", "pfl_calm", "wide layouts for new files",
         TuneValue(calm_spec()));
     return;
   }
@@ -186,7 +189,7 @@ void Controller::rule_pfl() {
       std::ostringstream detail;
       detail << "re-divided: " << spec.wide << " stripes for " << active
              << " writers";
-      act("pfl", "pfl_storm", detail.str(), TuneValue(spec));
+      act("pfl", "pfl", "pfl_storm", detail.str(), TuneValue(spec));
     }
   }
 }
@@ -207,7 +210,7 @@ void Controller::rule_qos() {
     tight.bucket_depth = std::max<Bytes>(1, sched_baseline_.bucket_depth / 2);
     std::ostringstream detail;
     detail << "tightened: jain " << jain << " < " << cfg_.jain_low;
-    act("oss_sched", "qos_tighten", detail.str(), TuneValue(tight));
+    act("oss_sched", "qos", "qos_tighten", detail.str(), TuneValue(tight));
     return;
   }
   if (tightened_ && jain > cfg_.jain_high) {
@@ -215,7 +218,8 @@ void Controller::rule_qos() {
     tightened_ = false;
     std::ostringstream detail;
     detail << "restored baseline: jain " << jain << " > " << cfg_.jain_high;
-    act("oss_sched", "qos_restore", detail.str(), TuneValue(sched_baseline_));
+    act("oss_sched", "qos", "qos_restore", detail.str(),
+        TuneValue(sched_baseline_));
   }
 }
 
@@ -236,7 +240,7 @@ void Controller::rule_placement() {
     rebalancing_ = true;
     std::ostringstream detail;
     detail << "load_aware placement: imbalance " << imbalance;
-    act("placement", "rebalance", detail.str(),
+    act("placement", "placement", "rebalance", detail.str(),
         TuneValue(PlacementKind::load_aware));
     return;
   }
@@ -246,21 +250,23 @@ void Controller::rule_placement() {
     std::ostringstream detail;
     detail << "restored " << lustre::placement_kind_name(placement_baseline_)
            << ": imbalance " << imbalance;
-    act("placement", "restore", detail.str(), TuneValue(placement_baseline_));
+    act("placement", "placement", "restore", detail.str(),
+        TuneValue(placement_baseline_));
   }
 }
 
-bool Controller::in_cooldown(const char* rule) const {
-  const auto it = last_action_.find(rule);
+bool Controller::in_cooldown(const char* family) const {
+  const auto it = last_action_.find(family);
   if (it == last_action_.end()) return false;
   return eng_->now() - it->second < cfg_.cooldown;
 }
 
-void Controller::act(const char* endpoint, const char* rule,
-                     std::string detail, const TuneValue& value) {
+void Controller::act(const char* endpoint, const char* family,
+                     const char* rule, std::string detail,
+                     const TuneValue& value) {
   bus_.apply(endpoint, value);
   const Seconds now = eng_->now();
-  last_action_[rule] = now;
+  last_action_[family] = now;
   actions_.push_back(CtrlAction{now, endpoint, rule, std::move(detail)});
   if (recorder_ != nullptr && recorder_->enabled(trace::Cat::sched)) {
     const trace::TrackId track = track_.get(*recorder_, "ctrl");

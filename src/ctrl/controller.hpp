@@ -21,8 +21,11 @@
 //           allocation when per-OST object counts grow imbalanced, back
 //           to the configured policy once they level out.
 //
-// Every rule carries hysteresis (distinct enter/exit thresholds) and a
-// per-rule cooldown so the controller cannot flap. Decisions are recorded
+// Flap damping: the qos and placement rules carry hysteresis (distinct
+// enter/exit thresholds); the pfl rule instead smooths its writer count
+// over `active_window` ticks. Every rule family additionally has a
+// cooldown — two actions of the same family (pfl / qos / placement) are
+// never closer than `cooldown` seconds. Decisions are recorded
 // as CtrlAction rows (surfaced in fleet analytics as the "adaptation"
 // block) and, when a Recorder is attached, as instants on a "ctrl" track.
 //
@@ -64,7 +67,7 @@ struct CtrlConfig {
   CtrlMode mode = CtrlMode::off;
   /// Tick period of the control loop.
   Seconds interval = 0.25;
-  /// Minimum time between two actions of the same rule.
+  /// Minimum time between two actions of the same rule family.
   Seconds cooldown = 1.0;
   /// qos hysteresis: tighten below jain_low, restore above jain_high.
   double jain_low = 0.85;
@@ -137,10 +140,13 @@ class Controller {
   void rule_pfl();
   void rule_qos();
   void rule_placement();
-  /// Apply `value` to `endpoint` and record the decision.
-  void act(const char* endpoint, const char* rule, std::string detail,
-           const TuneValue& value);
-  bool in_cooldown(const char* rule) const;
+  /// Apply `value` to `endpoint` and record the decision. `family` is the
+  /// rule-family key the cooldown is tracked under ("pfl", "qos",
+  /// "placement" — the same key in_cooldown queries); `rule` is the
+  /// per-action name kept for traces and CtrlAction rows.
+  void act(const char* endpoint, const char* family, const char* rule,
+           std::string detail, const TuneValue& value);
+  bool in_cooldown(const char* family) const;
   /// Jobs whose served bytes grew since the previous tick.
   std::size_t active_jobs();
   lustre::PflSpec calm_spec() const;
@@ -162,7 +168,7 @@ class Controller {
   sim::WakeToken pending_wake_;
 
   // -- rule state --------------------------------------------------------
-  std::map<std::string, Seconds, std::less<>> last_action_;  // per rule
+  std::map<std::string, Seconds, std::less<>> last_action_;  // per family
   std::map<lustre::sched::JobId, Bytes> served_prev_;
   std::map<lustre::sched::JobId, Seconds> last_grew_;  // last service seen
   bool storm_ = false;

@@ -5,6 +5,7 @@
 // --ctrl off constructs nothing and leaves every report untouched.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -294,6 +295,37 @@ TEST(Controller, PflRuleArmsCalmThenDetectsStorm) {
     if (a.rule == "pfl_storm") saw_storm = true;
   }
   EXPECT_TRUE(saw_storm) << "3 overlapping jobs never read as a storm";
+}
+
+// Regression for the inert-cooldown bug: act() used to record timestamps
+// under per-action rule names ("pfl_storm", "pfl_calm", ...) while
+// in_cooldown() queried family keys ("pfl", ...), so the keys never
+// matched and the storm re-divide path could retune on every tick. Each
+// endpoint is driven by exactly one rule family, so grouping by endpoint
+// groups by family: two actions on the same endpoint must never be closer
+// than the configured cooldown.
+TEST(Controller, CooldownSpacesSameFamilyActions) {
+  harness::Scenario s = storm_fleet();
+  // Wider than the natural calm->storm gap (~0.045s at this seed), so the
+  // cooldown must actually delay the storm action for the run to pass.
+  s.ctrl.cooldown = 0.1;
+  const harness::Observation obs = harness::run_scenario(s, 0xC791);
+  ASSERT_GE(obs.ctrl_actions.size(), 2u);
+  std::map<std::string, Seconds> last;
+  std::size_t same_family_pairs = 0;
+  for (const ctrl::CtrlAction& a : obs.ctrl_actions) {
+    const auto it = last.find(a.endpoint);
+    if (it != last.end()) {
+      ++same_family_pairs;
+      EXPECT_GE(a.at - it->second, s.ctrl.cooldown)
+          << a.rule << " at t=" << a.at << " only "
+          << a.at - it->second << "s after the previous "
+          << a.endpoint << " action";
+    }
+    last[a.endpoint] = a.at;
+  }
+  // The run must actually exercise the spacing, not pass vacuously.
+  EXPECT_GT(same_family_pairs, 0u);
 }
 
 TEST(Controller, FleetReportCarriesAdaptationBlock) {
