@@ -332,7 +332,7 @@ sim::Co<Result<InodeId>> FileSystem::create(std::string path,
   file.layout.stripe_size = eff.stripe_size;
   file.layout.osts = std::move(osts.value);
   file.layout.objects.reserve(file.layout.osts.size());
-  for (OstIndex ost : file.layout.osts) {
+  for (std::size_t i = 0; i < file.layout.osts.size(); ++i) {
     file.layout.objects.push_back(next_object_++);
   }
   dir.entries.emplace(leaf, file.id);

@@ -19,23 +19,33 @@ inline void cpu_relax() {
 #endif
 }
 
-// Spin this many iterations before yielding the core: windows are tens of
-// microseconds of work, so peers normally arrive within the spin budget,
-// but an oversubscribed machine (rep-threads x domain-threads) must not
-// livelock against the scheduler.
-constexpr std::uint32_t kSpinsBeforeYield = 4096;
+/// Spin budget for a ShardSet's round barrier: when every domain has a
+/// core, peers arrive within a few thousand spins and parking would only
+/// add futex latency; when domains outnumber cores, a spinner burns the
+/// exact quantum its peer needs, so park almost immediately and let the
+/// last arriver's notify hand the core over.
+std::uint32_t shard_spin_budget(std::size_t domains) {
+  return domains > hardware_threads() ? 16
+                                      : HybridBarrier::kDefaultSpinBudget;
+}
 
 }  // namespace
 
-void SpinBarrier::spin_until(bool next) {
-  std::uint32_t spins = 0;
-  while (sense_.load(std::memory_order_acquire) != next) {
-    if (++spins >= kSpinsBeforeYield) {
-      std::this_thread::yield();
-    } else {
-      cpu_relax();
-    }
+void HybridBarrier::wait_for(bool next) {
+  for (std::uint32_t spins = 0; spins < spin_budget_; ++spins) {
+    if (sense_.load(std::memory_order_acquire) == next) return;
+    cpu_relax();
   }
+  // Park. Register first, then re-check: the notifier's seq_cst
+  // sense-store / waiters-load cannot both miss this thread (see
+  // arrive_and_wait), and atomic::wait itself returns immediately if the
+  // sense already flipped, so the wake cannot be lost in the gap.
+  parks_.fetch_add(1, std::memory_order_relaxed);
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  while (sense_.load(std::memory_order_seq_cst) != next) {
+    sense_.wait(!next, std::memory_order_seq_cst);
+  }
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 ShardSet::ShardSet(std::size_t domains, Seconds lookahead,
@@ -44,8 +54,13 @@ ShardSet::ShardSet(std::size_t domains, Seconds lookahead,
       edges_(domains * domains),
       handlers_(domains),
       delivered_(domains),
-      barrier_(static_cast<std::uint32_t>(domains)),
-      next_t_(domains) {
+      barrier_(static_cast<std::uint32_t>(domains),
+               shard_spin_budget(domains)),
+      outboxes_(domains),
+      next_t_(domains),
+      window_end_(domains),
+      eff_next_(domains),
+      in_edges_(domains) {
   PFSC_REQUIRE(domains >= 1, "ShardSet: need at least one domain");
   PFSC_REQUIRE(lookahead > 0.0, "ShardSet: lookahead must be positive");
   engines_.reserve(domains);
@@ -54,6 +69,9 @@ ShardSet::ShardSet(std::size_t domains, Seconds lookahead,
     if (domains > 1) {
       engines_.back()->set_trace_track_name("engine.d" + std::to_string(d));
     }
+    outboxes_[d].last_post.assign(domains, 0);
+    outboxes_[d].active.reserve(domains);
+    in_edges_[d].reserve(domains);
   }
   // Each Engine's constructor installed its own arena as the thread's
   // current one; settle on domain 0's so everything the caller builds
@@ -79,7 +97,15 @@ void ShardSet::set_handler(std::size_t dst, Handler h) {
 void ShardSet::post(std::uint32_t src, std::uint32_t dst, Message m) {
   PFSC_ASSERT(src < engines_.size() && dst < engines_.size() && src != dst);
   m.deliver_t = m.sent_at + lookahead_;
-  edge(src, dst).post(m);
+  Outbox& out = outboxes_[src];
+  edge(src, dst).post(m, out.parity);
+  // First post on this edge this round carries the edge's earliest
+  // delivery time (sent_at is nondecreasing within a run phase), so the
+  // summary the reduction needs is exactly one append per active edge.
+  if (out.last_post[dst] != out.round) {
+    out.last_post[dst] = out.round;
+    out.active.emplace_back(dst, m.deliver_t);
+  }
 }
 
 void ShardSet::note_failure() noexcept {
@@ -94,54 +120,101 @@ void ShardSet::note_failure() noexcept {
 }
 
 void ShardSet::reduce() {
-  Seconds t = std::numeric_limits<double>::infinity();
-  for (const Seconds nt : next_t_) t = std::min(t, nt);
-  done_ = failed_.load(std::memory_order_acquire) ||
-          t == std::numeric_limits<double>::infinity();
-  window_end_ = t + lookahead_;
-  if (!done_) ++windows_;
+  constexpr Seconds kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = engines_.size();
+  // Effective next-event time per domain: its published queue minimum,
+  // folded with the earliest in-flight delivery headed its way. In-flight
+  // messages merge before the destination's next run phase, so E[d] is
+  // exactly the time of d's next dispatch — the quantity both window
+  // terms need. The fold also builds each destination's nonempty
+  // inbound-edge list (ascending source order — deterministic), so the
+  // merge phase scans O(active edges), not O(domains^2) mailboxes.
+  for (std::size_t d = 0; d < n; ++d) {
+    eff_next_[d] = next_t_[d];
+    in_edges_[d].clear();
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    Outbox& out = outboxes_[s];
+    for (const auto& [dst, min_deliver] : out.active) {
+      in_edges_[dst].push_back(static_cast<std::uint32_t>(s));
+      eff_next_[dst] = std::min(eff_next_[dst], min_deliver);
+    }
+    out.active.clear();
+    out.parity ^= 1u;
+    ++out.round;
+  }
+  // Per-domain exclusive window ends:
+  //   W_d = min( min over s != d of E[s] + L,  E[d] + 2L )
+  // The min-excluding-self is the usual two-smallest trick; the +2L term
+  // caps the feedback loop d itself can start this round (file header).
+  Seconds min1 = kInf;
+  Seconds min2 = kInf;
+  std::size_t argmin = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    const Seconds t = eff_next_[d];
+    if (t < min1) {
+      min2 = min1;
+      min1 = t;
+      argmin = d;
+    } else if (t < min2) {
+      min2 = t;
+    }
+  }
+  done_ = failed_.load(std::memory_order_acquire) || min1 == kInf;
+  if (done_) return;
+  ++windows_;
+  for (std::size_t d = 0; d < n; ++d) {
+    const Seconds peers = (d == argmin ? min2 : min1) + lookahead_;
+    window_end_[d] =
+        std::min(peers, eff_next_[d] + lookahead_ + lookahead_);
+  }
 }
 
 void ShardSet::worker_loop(std::size_t d) {
   Engine& eng = *engines_[d];
   FrameArena* prev = eng.make_arena_current();
   Handler& deliver = handlers_[d];
+  const std::vector<std::uint32_t>& inbound = in_edges_[d];
   bool sense = false;
-  const std::size_t n = engines_.size();
-  for (;;) {
-    // Merge phase: drain every inbound edge into this domain's queue.
-    // Messages were posted in the peers' previous run phase; barrier 2 of
-    // that round ordered those writes before these reads.
+  std::uint32_t merge_parity = 0;  // buffers the peers filled last round
+  // Bootstrap round: publish the initial queue state and cross the
+  // barrier so the first windows exist. Anything posted before run()
+  // (none today) was stamped into round-1 outbox summaries and merges in
+  // the first loop iteration.
+  next_t_[d] = eng.next_event_time();
+  barrier_.arrive_and_wait(sense, [this] { reduce(); });
+  while (!done_) {
     try {
       if (!failed_.load(std::memory_order_relaxed)) {
-        for (std::size_t s = 0; s < n; ++s) {
-          Mailbox& box = edge(s, d);
-          if (box.pending().empty()) continue;
+        // Merge phase: deliver what the peers posted last round. The
+        // reduction published this domain's nonempty inbound edges, so
+        // idle edges cost nothing; the buffers were sealed before the
+        // barrier we just crossed, while the peers' current-round posts
+        // go to the opposite parity.
+        for (const std::uint32_t s : inbound) {
           PFSC_REQUIRE(deliver != nullptr,
                        "ShardSet: message for a domain without a handler");
-          for (const Message& m : box.pending()) {
-            deliver(eng, static_cast<std::uint32_t>(s), m);
+          std::vector<Message>& batch = edge(s, d).buffer(merge_parity);
+          for (const Message& m : batch) {
+            deliver(eng, s, m);
           }
-          delivered_[d] += box.pending().size();
-          box.pending().clear();
+          delivered_[d] += batch.size();
+          batch.clear();
+        }
+        // Run phase: dispatch strictly before this domain's own window
+        // end, posting outbound messages as a side effect. Skipped
+        // entirely when nothing lies inside the window.
+        next_t_[d] = eng.next_event_time();
+        if (next_t_[d] < window_end_[d]) {
+          (void)eng.run_window(window_end_[d]);
+          next_t_[d] = eng.next_event_time();
         }
       }
     } catch (...) {
       note_failure();
     }
-    next_t_[d] = eng.next_event_time();
+    merge_parity ^= 1u;
     barrier_.arrive_and_wait(sense, [this] { reduce(); });
-    if (done_) break;
-    // Run phase: dispatch strictly before the window end, posting
-    // outbound messages to the edge mailboxes as a side effect.
-    try {
-      if (!failed_.load(std::memory_order_relaxed)) {
-        (void)eng.run_window(window_end_);
-      }
-    } catch (...) {
-      note_failure();
-    }
-    barrier_.arrive_and_wait(sense);
   }
   FrameArena::exchange_current(prev);
 }

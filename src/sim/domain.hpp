@@ -2,39 +2,61 @@
 //
 // A ShardSet partitions one simulation across `domains` sim::Engine
 // instances, each dispatching on its own worker thread. Cross-domain
-// interactions travel as timestamped messages through per-edge mailboxes
-// (mailbox.hpp) and are synchronised by conservative lookahead: with L the
-// minimum cross-domain latency (the RPC link latency in the Lustre model),
-// a message sent at time u is delivered at u + L, so after a global
-// barrier at time T every domain may safely dispatch the half-open window
-// [T, T + L) — no message produced inside the window can be delivered
-// before T + L. That exclusive window end is the entire correctness
-// argument (DESIGN.md §12 spells it out):
+// interactions travel as timestamped messages through per-edge
+// double-buffered mailboxes (mailbox.hpp) and are synchronised by
+// conservative lookahead: with L the minimum cross-domain latency (the RPC
+// link latency in the Lustre model), a message sent at time u is delivered
+// at u + L. Each synchronisation round costs ONE barrier, and every domain
+// gets its own window end (DESIGN.md §12 spells out the proof):
 //
-//   round k:  T = min over domains of next-event time   (barrier 1)
-//             every domain dispatches events with t < T + L, appending
-//             outbound messages to its edges' mailboxes  (run phase)
-//             all domains arrive                         (barrier 2)
-//             every domain drains its inbound edges into its queue
-//             (merge phase of round k+1)
+//   round k:  every domain merges the messages its peers posted in round
+//             k-1 (only the nonempty edges — the barrier published the
+//             list), then dispatches events with t < W_d, posting outbound
+//             messages into the round-k mailbox buffers      (run phase)
+//             every domain publishes its next-event time and, per posted
+//             edge, the earliest delivery time; all arrive   (the barrier)
+//             the last arriver folds those into effective next-event
+//             times E[s] and per-domain windows
+//                 W_d = min( min over s != d of E[s] + L,  E[d] + 2L )
+//             for round k+1                                  (reduction)
 //
-// The barrier doubles as the null-message credit of classic conservative
-// PDES: publishing a domain's next-event time is exactly the "I promise
-// nothing before T" null message, collapsed to one min-reduction because
-// every edge shares the same lookahead L.
+// The first term is the classic conservative bound — no peer can send
+// before its own next dispatch, so nothing can reach d before
+// min E[s] + L. Excluding d's own E from that reduction is what lets the
+// domain holding the global minimum run ahead instead of being clipped by
+// itself. The second term caps the feedback loop d can start this round:
+// a message d sends at u >= E[d] can bounce off a peer and return no
+// earlier than u + 2L, so W_d may not outrun E[d] + 2L. Both windows are
+// exclusive, which keeps the at-exactly-W event ordered after any message
+// delivered at W.
+//
+// One barrier per round is sound because mailboxes are double-buffered:
+// round k's posts and round k+1's drains of the same edge land in the same
+// buffer but on opposite sides of the round-k barrier, while the
+// concurrently-running posts of round k+1 go to the other buffer. The
+// barrier's release/acquire ordering is the only synchronisation the
+// mailbox data needs.
+//
+// The barrier itself is hybrid spin-then-park (HybridBarrier below):
+// peers normally arrive within the spin budget, but when domains outnumber
+// cores — rep-threads x domain-threads sweeps, or a laptop running an
+// 8-domain scenario — spinning would just burn the quantum the peer needs,
+// so waiters park on std::atomic::wait and the last arriver wakes them.
+// BM_ShardedOversubscribed gates the degradation.
 //
 // Determinism: deliveries enter the destination queue with the full
 // (deliver_t, sent_at, 1 + src_domain, edge_seq) key — see ScheduledEvent
 // — so the dispatch order, and therefore every golden, is bit-for-bit
 // identical to the single-engine run at any domain count. The golden and
-// property tests pin this at 1/2/8 domains.
+// property tests pin this at 1/2/3/8 domains.
 //
 // Threading: domain 0 runs on the caller's thread, domains 1..N-1 on
-// std::threads spawned by run(). All mailbox and next-event state is
-// accessed in temporally disjoint phases separated by the two barriers,
-// whose acquire/release atomics provide the happens-before edges — no
-// mutexes anywhere on the hot path (the TSan CI job runs the sharded
-// determinism tests to keep it that way).
+// std::threads spawned by run(). All mailbox, window and outbox-summary
+// state is accessed in temporally disjoint phases separated by the round
+// barrier (the reduction runs exclusively inside it), whose
+// acquire/release atomics provide the happens-before edges — no mutexes
+// anywhere on the hot path (the TSan CI job runs the sharded determinism
+// and barrier tests to keep it that way).
 #pragma once
 
 #include <atomic>
@@ -50,16 +72,31 @@
 
 namespace pfsc::sim {
 
-/// Sense-reversing centralised spin barrier. Each participant keeps its
-/// own `sense` flag (flipped per crossing); the last arriver may run a
-/// completion hook while every peer is still spinning, which is how the
-/// ShardSet folds the min-reduction into barrier 1 instead of paying a
-/// third rendezvous per round.
-class SpinBarrier {
+/// Sense-reversing centralised barrier, hybrid spin-then-park. Each
+/// participant keeps its own `sense` flag (flipped per crossing); the last
+/// arriver may run a completion hook while every peer is still waiting,
+/// which is how the ShardSet folds the window reduction into the barrier
+/// instead of paying a second rendezvous per round.
+///
+/// Waiters spin for `spin_budget` iterations (the fast path when every
+/// party has a core and rounds are microseconds apart), then park on
+/// std::atomic::wait until the last arriver's notify_all. The notify is
+/// skipped when nobody parked — both sides use seq_cst for the
+/// flag-then-check handshake, and atomic::wait re-checks the value before
+/// sleeping, so the wake cannot be lost.
+class HybridBarrier {
  public:
-  explicit SpinBarrier(std::uint32_t parties) : parties_(parties) {}
-  SpinBarrier(const SpinBarrier&) = delete;
-  SpinBarrier& operator=(const SpinBarrier&) = delete;
+  /// Default spin budget: windows are typically tens of microseconds of
+  /// work, so peers normally arrive within a few thousand spins. Callers
+  /// that KNOW they are oversubscribed should pass something tiny — the
+  /// core a spinner burns is the core its peer needs.
+  static constexpr std::uint32_t kDefaultSpinBudget = 4096;
+
+  explicit HybridBarrier(std::uint32_t parties,
+                         std::uint32_t spin_budget = kDefaultSpinBudget)
+      : parties_(parties), spin_budget_(spin_budget) {}
+  HybridBarrier(const HybridBarrier&) = delete;
+  HybridBarrier& operator=(const HybridBarrier&) = delete;
 
   template <typename OnLast>
   void arrive_and_wait(bool& sense, OnLast&& on_last) {
@@ -68,11 +105,18 @@ class SpinBarrier {
     // acq_rel: the add releases this thread's phase writes to the last
     // arriver and (for the last arriver) acquires every peer's.
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
-      on_last();  // runs exclusively: all peers are spinning on sense_
+      on_last();  // runs exclusively: all peers are spinning or parked
       count_.store(0, std::memory_order_relaxed);
-      sense_.store(next, std::memory_order_release);
+      // seq_cst store + seq_cst waiter-count load pair with the waiter's
+      // seq_cst registration + re-check: either the waiter sees the new
+      // sense and never sleeps, or the notifier sees the waiter and wakes
+      // it. (A plain release store could let both loads read stale values.)
+      sense_.store(next, std::memory_order_seq_cst);
+      if (waiters_.load(std::memory_order_seq_cst) != 0) {
+        sense_.notify_all();
+      }
     } else {
-      spin_until(next);
+      wait_for(next);
     }
   }
 
@@ -80,12 +124,20 @@ class SpinBarrier {
     arrive_and_wait(sense, [] {});
   }
 
+  std::uint32_t spin_budget() const { return spin_budget_; }
+  /// Crossings on which this thread's wait gave up spinning and parked
+  /// (diagnostics; relaxed counter, read it only at quiescence).
+  std::uint64_t parks() const { return parks_.load(std::memory_order_relaxed); }
+
  private:
-  void spin_until(bool next);
+  void wait_for(bool next);
 
   const std::uint32_t parties_;
+  const std::uint32_t spin_budget_;
   std::atomic<std::uint32_t> count_{0};
+  std::atomic<std::uint32_t> waiters_{0};
   std::atomic<bool> sense_{false};
+  std::atomic<std::uint64_t> parks_{0};
 };
 
 /// The engines, mailboxes and window-barrier loop of one sharded run. See
@@ -116,8 +168,10 @@ class ShardSet {
   void set_handler(std::size_t dst, Handler h);
 
   /// Post `m` from `src` to `dst` during src's run phase. Fills in
-  /// deliver_t = m.sent_at + lookahead and the per-edge seq; the caller
-  /// sets sent_at to its engine's now() and the payload fields.
+  /// deliver_t = m.sent_at + lookahead and the per-edge seq, stamps the
+  /// edge into src's round outbox summary (the O(active) fan-in list the
+  /// reduction reads); the caller sets sent_at to its engine's now() and
+  /// the payload fields.
   void post(std::uint32_t src, std::uint32_t dst, Message m);
 
   /// Run every domain to completion (all queues drained, all mailboxes
@@ -129,14 +183,32 @@ class ShardSet {
   std::uint64_t windows() const { return windows_; }
   /// Messages delivered across all edges.
   std::uint64_t messages_delivered() const;
+  /// Barrier crossings on which some waiter parked instead of spinning
+  /// through (0 on a machine with a core per domain and short rounds).
+  std::uint64_t barrier_parks() const { return barrier_.parks(); }
 
  private:
+  /// One source domain's round-local outbox state. Written by the source
+  /// thread during its run phase (via post) and consumed/reset by the
+  /// reduction inside the barrier — temporally disjoint, so no atomics.
+  /// Padded: each entry is written by a different thread every round.
+  struct alignas(64) Outbox {
+    std::uint32_t parity = 0;  ///< mailbox buffer posts go to this round
+    std::uint64_t round = 1;   ///< current round stamp (last_post epoch)
+    /// Edges posted to this round, in first-post order, with the edge's
+    /// earliest delivery time (= the first post's, since the sender's
+    /// clock is nondecreasing within a run phase).
+    std::vector<std::pair<std::uint32_t, Seconds>> active;
+    std::vector<std::uint64_t> last_post;  ///< [dst] round of last post
+  };
+
   Mailbox& edge(std::size_t src, std::size_t dst) {
     return edges_[src * engines_.size() + dst];
   }
   void worker_loop(std::size_t d);
-  /// Barrier-1 completion hook: min-reduce next-event times into the next
-  /// window end; runs exclusively while every domain spins.
+  /// Barrier completion hook: fold every outbox summary into effective
+  /// next-event times, per-destination inbound-edge lists and per-domain
+  /// window ends; runs exclusively while every domain waits.
   void reduce();
   void note_failure() noexcept;
 
@@ -146,10 +218,14 @@ class ShardSet {
   std::vector<Handler> handlers_;
   std::vector<std::uint64_t> delivered_;  // per destination domain
 
-  SpinBarrier barrier_;
-  std::vector<Seconds> next_t_;  // published before barrier 1
-  Seconds window_end_ = 0.0;     // written by reduce(), read after barrier 1
-  bool done_ = false;            // likewise
+  HybridBarrier barrier_;
+  std::vector<Outbox> outboxes_;  // per source, reset by reduce()
+  std::vector<Seconds> next_t_;   // published before the barrier
+  // Written by reduce(), read by the owning domain after the barrier:
+  std::vector<Seconds> window_end_;                 // per-domain W_d
+  std::vector<Seconds> eff_next_;                   // reduction scratch
+  std::vector<std::vector<std::uint32_t>> in_edges_;  // nonempty inbound srcs
+  bool done_ = false;
   std::uint64_t windows_ = 0;
 
   std::atomic<bool> failed_{false};

@@ -1,20 +1,27 @@
 // Per-edge mailboxes for sharded runs (sim/domain.hpp).
 //
 // A Mailbox is the message channel for ONE directed domain edge
-// (src -> dst). The window-barrier protocol makes it single-writer,
-// single-reader, and *temporally disjoint*: the source domain appends
-// during its run phase, both sides pass a barrier, and the destination
-// domain drains during its merge phase — producer and consumer never touch
-// the vector concurrently, so a plain std::vector with no locks (and no
-// atomics beyond the barrier itself) is race-free. TSan agrees: every
-// append happens-before the barrier's release, every drain happens-after
-// its acquire.
+// (src -> dst). It is double-buffered: each round of the single-barrier
+// protocol posts into the buffer selected by the source's round parity
+// while the destination drains the buffer the source filled one round
+// earlier. The two sides therefore touch *different* vectors whenever they
+// run concurrently, and ownership of each buffer alternates only across
+// the round barrier:
+//
+//   round k   source appends to buffer[k & 1]        (run phase)
+//   round k+1 destination drains buffer[k & 1]       (merge phase)
+//   round k+2 source reuses buffer[k & 1]            (run phase)
+//
+// Every hand-off above crosses exactly one barrier, whose release/acquire
+// ordering makes the appends visible to the drain and the drain's clear()
+// visible to the reuse — no locks, no per-message atomics. TSan agrees.
 //
 // Messages carry the full determinism key of the send: `sent_at` (the
 // sender's clock) plus the per-edge `seq` the mailbox assigns in post
-// order. The destination engine turns them into (deliver_t, sent_at,
-// 1 + src, seq) queue entries — see ScheduledEvent in event_queue.hpp for
-// why that reproduces the single-engine dispatch order.
+// order (continuous across buffers). The destination engine turns them
+// into (deliver_t, sent_at, 1 + src, seq) queue entries — see
+// ScheduledEvent in event_queue.hpp for why that reproduces the
+// single-engine dispatch order.
 #pragma once
 
 #include <coroutine>
@@ -45,25 +52,30 @@ struct Message {
   bool flag = false;
 };
 
-/// The message channel for one directed domain edge. See the file header
-/// for the single-writer/single-reader protocol that keeps it lock-free.
+/// The double-buffered message channel for one directed domain edge. See
+/// the file header for the parity protocol that keeps it lock-free.
 class Mailbox {
  public:
-  /// Append (run phase, source domain only). Assigns the per-edge seq;
-  /// 1-based like the engine's native counter.
-  void post(Message m) {
+  /// Append to the buffer for round parity `parity` (run phase, source
+  /// domain only). Assigns the per-edge seq; 1-based like the engine's
+  /// native counter, and continuous across the two buffers so delivery
+  /// keys are independent of the round a message happened to travel in.
+  void post(Message m, std::uint32_t parity) {
     m.seq = ++next_seq_;
-    pending_.push_back(m);
+    buf_[parity & 1].push_back(m);
   }
 
-  /// The batch to drain (merge phase, destination domain only).
-  std::vector<Message>& pending() { return pending_; }
+  /// The batch posted under round parity `parity` (merge phase,
+  /// destination domain only — one round after the source filled it).
+  std::vector<Message>& buffer(std::uint32_t parity) {
+    return buf_[parity & 1];
+  }
 
   /// Messages posted over the edge's lifetime (diagnostics).
   std::uint64_t posted() const { return next_seq_; }
 
  private:
-  std::vector<Message> pending_;
+  std::vector<Message> buf_[2];
   std::uint64_t next_seq_ = 0;
 };
 

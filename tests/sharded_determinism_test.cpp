@@ -1,6 +1,6 @@
 // Sharded-run determinism: the whole point of the domain refactor is that
 // --sim_domains only trades threads for wall-clock time, never results.
-// Every test here runs one scenario at 1, 2 and 8 domains and requires the
+// Every test here runs one scenario at 1, 2, 3 and 8 domains and requires the
 // observations — and, where traced, the exported Chrome JSON — to be
 // IDENTICAL, compared with operator== on doubles and bytes, not with
 // tolerances. The engine category is excluded from the traced runs: its
@@ -58,14 +58,15 @@ void expect_identical(const harness::Observation& base,
 std::vector<harness::Observation> sweep_domains(harness::Scenario s,
                                                 std::uint64_t seed) {
   std::vector<harness::Observation> out;
-  for (const std::uint32_t domains : {1u, 2u, 8u}) {
+  // 3 domains splits the servers across two uneven domains — the smallest
+  // count where per-domain window ends actually differ between domains.
+  for (const std::uint32_t domains : {1u, 2u, 3u, 8u}) {
     s.platform.sim_domains = domains;
     out.push_back(harness::run_scenario(s, seed));
   }
-  const std::string label2 = "domains=2";
-  const std::string label8 = "domains=8";
-  expect_identical(out[0], out[1], label2.c_str());
-  expect_identical(out[0], out[2], label8.c_str());
+  expect_identical(out[0], out[1], "domains=2");
+  expect_identical(out[0], out[2], "domains=3");
+  expect_identical(out[0], out[3], "domains=8");
   return out;
 }
 
@@ -134,8 +135,9 @@ TEST(ShardedDeterminism, StaggeredArrivalFleet) {
   // JSON must also be byte-identical across domain counts.
   const std::string base_report =
       replay::analyze_fleet(obs[0], s.platform).to_json();
-  EXPECT_EQ(base_report, replay::analyze_fleet(obs[1], s.platform).to_json());
-  EXPECT_EQ(base_report, replay::analyze_fleet(obs[2], s.platform).to_json());
+  for (std::size_t i = 1; i < obs.size(); ++i) {
+    EXPECT_EQ(base_report, replay::analyze_fleet(obs[i], s.platform).to_json());
+  }
   EXPECT_FALSE(base_report.empty());
 }
 
@@ -156,10 +158,11 @@ TEST(ShardedDeterminism, FullTraceJsonBytesIdentical) {
   s.trace.categories = trace::kAllCats & ~trace::cat_bit(trace::Cat::engine);
   const auto obs = sweep_domains(s, 0x5A4D06);
   ASSERT_FALSE(obs[0].trace_json.empty());
-  EXPECT_EQ(obs[0].trace_json, obs[1].trace_json) << "domains=2";
-  EXPECT_EQ(obs[0].trace_json, obs[2].trace_json) << "domains=8";
+  for (std::size_t i = 1; i < obs.size(); ++i) {
+    EXPECT_EQ(obs[0].trace_json, obs[i].trace_json) << "sweep entry " << i;
+  }
   EXPECT_EQ(obs[0].trace_summary.recorded_events,
-            obs[2].trace_summary.recorded_events);
+            obs.back().trace_summary.recorded_events);
 }
 
 // A periodic trace sampler reads server-side state (sched queues, disk

@@ -127,8 +127,13 @@ Task sharded_client(ShardSet& shards, RpcOp op, std::uint32_t idx,
   log->push_back({eng.now(), idx});
 }
 
+struct RunStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t windows = 0;
+};
+
 std::vector<Done> run_sharded(const std::vector<RpcOp>& ops, std::size_t n,
-                              std::size_t domains) {
+                              std::size_t domains, RunStats* stats = nullptr) {
   std::vector<Done> log;
   ShardSet shards(domains, kLookahead, EventQueuePolicy::ladder);
   for (std::size_t d = 0; d < domains; ++d) {
@@ -153,6 +158,10 @@ std::vector<Done> run_sharded(const std::vector<RpcOp>& ops, std::size_t n,
         sharded_client(shards, op, static_cast<std::uint32_t>(i), &log));
   }
   shards.run();
+  if (stats != nullptr) {
+    stats->delivered = shards.messages_delivered();
+    stats->windows = shards.windows();
+  }
   return log;
 }
 
@@ -197,6 +206,24 @@ TEST(ShardedProperty, RandomRpcSchedulesMatchSingleEngine) {
                   << ") fails with the first " << n << " of " << ops.size()
                   << " ops: " << shrunk;
     return;
+  }
+}
+
+// Accounting regression for the per-domain-window protocol: every RPC op
+// is exactly one request plus one reply crossing the fabric, so the
+// delivered-message count must equal 2 x ops at EVERY domain count —
+// wider per-domain windows may regroup dispatches into fewer rounds, but
+// they must never duplicate, drop, or re-route a delivery. windows() has
+// no cross-count invariant (that grouping is exactly what changes), only
+// that some rounds ran.
+TEST(ShardedProperty, DeliveryCountInvariantAcrossDomainCounts) {
+  const std::vector<RpcOp> ops = gen_ops(0xACC7, /*servers=*/7);
+  for (const std::size_t domains : {2u, 3u, 8u}) {
+    RunStats stats;
+    const auto log = run_sharded(ops, ops.size(), domains, &stats);
+    ASSERT_EQ(log.size(), ops.size()) << "domains " << domains;
+    EXPECT_EQ(stats.delivered, 2 * ops.size()) << "domains " << domains;
+    EXPECT_GT(stats.windows, 0u) << "domains " << domains;
   }
 }
 

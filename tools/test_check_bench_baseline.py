@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_baseline.py (ratio gates, min_cpus skips,
+absolute floors, bootstrap/update). Registered with ctest as
+check_bench_baseline_test; also runnable directly:
+
+    python3 tools/test_check_bench_baseline.py
+"""
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_baseline as cbb  # noqa: E402
+
+
+def report(rates, num_cpus=4, aggregates=()):
+    benchmarks = [
+        {"name": name, "run_type": "iteration", "items_per_second": rate}
+        for name, rate in rates.items()
+    ]
+    benchmarks += [
+        {"name": name, "run_type": "aggregate", "items_per_second": 1e99}
+        for name in aggregates
+    ]
+    return {"context": {"num_cpus": num_cpus}, "benchmarks": benchmarks}
+
+
+class RunResult:
+    def __init__(self, code, out, err, baseline):
+        self.code = code
+        self.out = out
+        self.err = err
+        self.baseline = baseline
+
+
+def run_gate(report_obj, baseline_obj, update=False):
+    """Drive main() against temp files; returns exit code, both output
+    streams, and the baseline file's content after the run."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = os.path.join(tmp, "report.json")
+        baseline_path = os.path.join(tmp, "baseline.json")
+        with open(report_path, "w", encoding="utf-8") as f:
+            json.dump(report_obj, f)
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            json.dump(baseline_obj, f)
+        argv = ["check_bench_baseline.py", report_path, baseline_path]
+        if update:
+            argv.append("--update")
+        out, err = io.StringIO(), io.StringIO()
+        old_argv, sys.argv = sys.argv, argv
+        try:
+            with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+                code = cbb.main()
+        finally:
+            sys.argv = old_argv
+        with open(baseline_path, encoding="utf-8") as f:
+            final = json.load(f)
+        return RunResult(code, out.getvalue(), err.getvalue(), final)
+
+
+class LoadReportTest(unittest.TestCase):
+    def test_skips_aggregates_and_reads_num_cpus(self):
+        rep = report({"BM_A": 100.0}, num_cpus=7, aggregates=["BM_A_mean"])
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            json.dump(rep, f)
+            path = f.name
+        try:
+            rates, num_cpus = cbb.load_report(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(rates, {"BM_A": 100.0})
+        self.assertEqual(num_cpus, 7)
+
+    def test_missing_context_defaults_to_zero_cpus(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            json.dump({"benchmarks": []}, f)
+            path = f.name
+        try:
+            rates, num_cpus = cbb.load_report(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(rates, {})
+        self.assertEqual(num_cpus, 0)
+
+
+class RatioGateTest(unittest.TestCase):
+    def gate(self, min_ratio, **extra):
+        return {"ratios": [dict(numerator="BM_N", denominator="BM_D",
+                                min=min_ratio, **extra)]}
+
+    def test_ratio_at_gate_passes(self):
+        r = run_gate(report({"BM_N": 300.0, "BM_D": 100.0}), self.gate(3.0))
+        self.assertEqual(r.code, 0)
+        self.assertIn("ok", r.out)
+
+    def test_ratio_below_gate_fails(self):
+        r = run_gate(report({"BM_N": 299.0, "BM_D": 100.0}), self.gate(3.0))
+        self.assertEqual(r.code, 1)
+        self.assertIn("FAIL", r.err)
+
+    def test_min_cpus_skips_on_small_host(self):
+        r = run_gate(report({"BM_N": 1.0, "BM_D": 100.0}, num_cpus=2),
+                     self.gate(3.0, min_cpus=4))
+        self.assertEqual(r.code, 0, "a skipped gate must not fail")
+        self.assertIn("skip", r.out)
+
+    def test_min_cpus_enforced_on_big_host(self):
+        r = run_gate(report({"BM_N": 1.0, "BM_D": 100.0}, num_cpus=4),
+                     self.gate(3.0, min_cpus=4))
+        self.assertEqual(r.code, 1)
+
+    def test_missing_benchmark_fails_not_skips(self):
+        r = run_gate(report({"BM_N": 300.0}), self.gate(3.0))
+        self.assertEqual(r.code, 1)
+        self.assertIn("missing from report", r.err)
+
+
+class AbsoluteGateTest(unittest.TestCase):
+    def test_within_tolerance_passes(self):
+        floor = 100.0 * (1.0 - cbb.TOLERANCE)
+        r = run_gate(report({"BM_A": floor}),
+                     {"events_per_sec": {"BM_A": 100.0}})
+        self.assertEqual(r.code, 0)
+
+    def test_below_tolerance_fails(self):
+        floor = 100.0 * (1.0 - cbb.TOLERANCE)
+        r = run_gate(report({"BM_A": floor * 0.999}),
+                     {"events_per_sec": {"BM_A": 100.0}})
+        self.assertEqual(r.code, 1)
+
+    def test_bootstrap_always_passes_without_update(self):
+        r = run_gate(report({"BM_A": 5.0}),
+                     {"events_per_sec": {"BM_A": "bootstrap"}})
+        self.assertEqual(r.code, 0)
+        self.assertEqual(r.baseline["events_per_sec"]["BM_A"], "bootstrap",
+                         "no --update: file must be untouched")
+
+    def test_update_freezes_bootstrap(self):
+        r = run_gate(report({"BM_A": 5.0}),
+                     {"events_per_sec": {"BM_A": "bootstrap"}}, update=True)
+        self.assertEqual(r.code, 0)
+        self.assertEqual(r.baseline["events_per_sec"]["BM_A"], 5.0)
+
+    def test_update_raises_on_improvement_never_lowers(self):
+        improved = run_gate(report({"BM_A": 120.0}),
+                            {"events_per_sec": {"BM_A": 100.0}}, update=True)
+        self.assertEqual(improved.baseline["events_per_sec"]["BM_A"], 120.0)
+        regressed = run_gate(report({"BM_A": 90.0}),
+                             {"events_per_sec": {"BM_A": 100.0}}, update=True)
+        self.assertEqual(regressed.code, 0, "90 is inside the 15% tolerance")
+        self.assertEqual(regressed.baseline["events_per_sec"]["BM_A"], 100.0)
+
+
+if __name__ == "__main__":
+    unittest.main()
